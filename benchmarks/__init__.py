@@ -1,0 +1,1 @@
+"""Benchmark harness reproducing the paper's experiments (see DESIGN.md)."""

@@ -1,0 +1,123 @@
+"""E9 — ablations of the design choices DESIGN.md calls out.
+
+* REP_COUNTP repetition cap: the paper's constants (ceil(2q), ceil(32q)) are
+  what the union bound needs; the ablation shows how accuracy and cost move as
+  the practical cap grows toward them.
+* Spanning-tree degree bound: the remark after Fact 2.1 — without a
+  bounded-degree tree a hub node absorbs its neighbours' traffic.
+* Counting-sketch choice: LogLog (the paper's reference [3]) versus
+  HyperLogLog as the α-counting black box of Theorem 4.5.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.analysis.experiments import (
+    run_apx_median_trials,
+    run_degree_bound_ablation,
+    run_repetition_ablation,
+)
+from repro.analysis.report import format_table
+from repro.core.apx_median import ApproximateMedianProtocol
+from repro.core.definitions import is_approximate_order_statistic
+from repro.network.simulator import SensorNetwork
+from repro.network.topology import grid_topology
+from repro.workloads.generators import generate_workload
+
+
+def test_repetition_cap_ablation(benchmark):
+    summaries = run_once(
+        benchmark,
+        run_repetition_ablation,
+        144,
+        caps=(1, 2, 4, 8),
+        trials=10,
+        num_registers=64,
+    )
+    rows = [
+        [
+            cap,
+            s.success_rate,
+            round(s.mean_rank_error, 3),
+            int(s.mean_max_node_bits),
+        ]
+        for cap, s in zip((1, 2, 4, 8), summaries)
+    ]
+    print()
+    print(format_table(
+        ["repetition cap", "success rate", "mean rank err", "mean max bits/node"],
+        rows,
+        title="E9a  REP_COUNTP repetition-cap ablation (N = 144)",
+    ))
+    # Cost grows with the cap; accuracy does not get worse.
+    assert summaries[-1].mean_max_node_bits > 2 * summaries[0].mean_max_node_bits
+    assert summaries[-1].mean_rank_error <= summaries[0].mean_rank_error + 0.05
+    benchmark.extra_info["success_rates"] = [s.success_rate for s in summaries]
+
+
+def test_degree_bound_ablation(benchmark):
+    records = run_once(
+        benchmark,
+        run_degree_bound_ablation,
+        256,
+        degree_bounds=(None, 2, 3, 8),
+        topology="single_hop",
+    )
+    rows = [
+        [
+            record.protocol,
+            record.extra["tree_degree"],
+            record.extra["tree_height"],
+            record.max_node_bits,
+        ]
+        for record in records
+    ]
+    print()
+    print(format_table(
+        ["configuration", "tree degree", "tree height", "max bits/node"],
+        rows,
+        title="E9b  spanning-tree degree bound (single-hop clique, N = 256)",
+    ))
+    unbounded = records[0]
+    bounded = [r for r in records if r.extra["degree_bound"] == 3][0]
+    benchmark.extra_info["unbounded_bits"] = unbounded.max_node_bits
+    benchmark.extra_info["degree3_bits"] = bounded.max_node_bits
+    # The remark after Fact 2.1: the bounded-degree tree shields the hub.
+    assert bounded.max_node_bits < unbounded.max_node_bits / 4
+
+
+def test_counting_sketch_choice(benchmark):
+    items = generate_workload("uniform", 225, max_value=50_000, seed=9)
+    network = SensorNetwork.from_items(items, topology=grid_topology(15))
+
+    def sweep():
+        results = []
+        for sketch in ("loglog", "hyperloglog"):
+            successes = 0
+            bits = []
+            trials = 8
+            for trial in range(trials):
+                network.reset_ledger()
+                outcome_result = ApproximateMedianProtocol(
+                    epsilon=0.2, num_registers=64, sketch=sketch, seed=300 + trial
+                ).run(network)
+                outcome = outcome_result.value
+                if is_approximate_order_statistic(
+                    items, len(items) / 2, outcome.value,
+                    alpha=max(0.5, outcome.alpha_guarantee), beta=0.05,
+                ):
+                    successes += 1
+                bits.append(outcome_result.max_node_bits)
+            results.append((sketch, successes / trials, sum(bits) / len(bits)))
+        return results
+
+    results = run_once(benchmark, sweep)
+    print()
+    print(format_table(
+        ["counting sketch", "success rate", "mean max bits/node"],
+        [list(row) for row in results],
+        title="E9c  α-counting black box: LogLog vs HyperLogLog (N = 225)",
+    ))
+    for sketch, success_rate, _ in results:
+        benchmark.extra_info[f"{sketch}_success_rate"] = success_rate
+        assert success_rate >= 0.6

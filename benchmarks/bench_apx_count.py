@@ -1,0 +1,59 @@
+"""E2 — Fact 2.2: approximate counting with O(m log log N) bits per node.
+
+Reproduces the two halves of the claim: (a) the relative error tracks the
+predicted σ ≈ 1.30/√m, and (b) the per-node communication is flat in N for a
+fixed sketch size m (it depends only on m · log log N).
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.analysis.experiments import run_apx_count_sweep
+from repro.analysis.report import format_table
+
+SIZES = [256, 1024, 4096]
+REGISTERS = [16, 64, 256]
+
+
+def test_apx_count_accuracy_and_cost(benchmark):
+    records = run_once(
+        benchmark, run_apx_count_sweep, SIZES, register_counts=REGISTERS, trials=5
+    )
+
+    rows = []
+    for record in records:
+        rows.append([
+            record.protocol,
+            record.num_items,
+            record.max_node_bits,
+            record.extra["mean_relative_error"],
+            record.extra["predicted_sigma"],
+        ])
+    print()
+    print(format_table(
+        ["protocol", "N", "max bits/node", "mean rel. error", "predicted sigma"],
+        rows,
+        title="E2  Fact 2.2 — LogLog approximate counting",
+    ))
+
+    # (a) accuracy roughly within a small multiple of the predicted sigma.
+    for record in records:
+        assert record.extra["mean_relative_error"] < 4 * record.extra["predicted_sigma"] + 0.05
+
+    # (b) for fixed m the per-node cost is flat in N.
+    for m in REGISTERS:
+        costs = [
+            record.max_node_bits
+            for record in records
+            if record.protocol == f"APX_COUNT(m={m})"
+        ]
+        benchmark.extra_info[f"m={m}_cost_range"] = (min(costs), max(costs))
+        assert max(costs) <= 1.3 * min(costs)
+
+    # (c) larger m costs proportionally more bits and delivers lower error.
+    small = [r for r in records if r.protocol == "APX_COUNT(m=16)"]
+    large = [r for r in records if r.protocol == "APX_COUNT(m=256)"]
+    assert large[0].max_node_bits > 5 * small[0].max_node_bits
+    mean_small = sum(r.extra["mean_relative_error"] for r in small) / len(small)
+    mean_large = sum(r.extra["mean_relative_error"] for r in large) / len(large)
+    assert mean_large <= mean_small + 0.02

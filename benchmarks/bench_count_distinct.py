@@ -1,0 +1,111 @@
+"""E7 — Theorem 5.1: exact COUNT DISTINCT needs Ω(n) bits; approximate is loglog.
+
+Reproduces both sides of Section 5:
+
+* on Set-Disjointness-shaped instances (all values distinct, line topology)
+  the exact protocol's per-node traffic — and specifically the traffic across
+  the A/B cut of the reduction — grows linearly with n, while the LogLog
+  protocol stays flat;
+* the reduction itself decides disjointness correctly when driven by the
+  exact protocol and fails on overlap-of-one instances when driven by the
+  approximate one (the "a difference of one flips the answer" remark).
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.analysis.experiments import run_count_distinct_sweep
+from repro.analysis.metrics import fit_growth_exponent
+from repro.analysis.report import format_table
+from repro.distinct import (
+    ApproxDistinctCountProtocol,
+    ExactDistinctCountProtocol,
+    make_disjoint_instance,
+    make_intersecting_instance,
+    solve_disjointness_via_count_distinct,
+)
+
+SIZES = [64, 256, 1024, 4096]
+
+
+def test_count_distinct_scaling(benchmark):
+    records = run_once(benchmark, run_count_distinct_sweep, SIZES)
+    rows = [
+        [
+            record.protocol,
+            record.num_items,
+            record.extra["true_distinct"],
+            round(record.answer, 1),
+            record.max_node_bits,
+        ]
+        for record in records
+    ]
+    print()
+    print(format_table(
+        ["protocol", "n", "true distinct", "answer", "max bits/node"],
+        rows,
+        title="E7  Theorem 5.1 — COUNT DISTINCT, exact vs approximate",
+    ))
+
+    exact_points = [
+        (r.num_items, r.max_node_bits) for r in records if "exact" in r.protocol
+    ]
+    approx_points = [
+        (r.num_items, r.max_node_bits) for r in records if "loglog" in r.protocol
+    ]
+    exact_exponent, _ = fit_growth_exponent(*zip(*exact_points))
+    approx_exponent, _ = fit_growth_exponent(*zip(*approx_points))
+    benchmark.extra_info["exact_power_law_exponent"] = round(exact_exponent, 3)
+    benchmark.extra_info["approx_power_law_exponent"] = round(approx_exponent, 3)
+    # The paper's contrast: linear versus (essentially) constant.
+    assert exact_exponent > 0.8
+    assert approx_exponent < 0.2
+    # Every exact answer is exact.
+    assert all(
+        r.answer == r.extra["true_distinct"] for r in records if "exact" in r.protocol
+    )
+
+
+def test_disjointness_reduction(benchmark):
+    def sweep():
+        results = []
+        for set_size in (32, 128, 512):
+            disjoint = make_disjoint_instance(set_size, seed=1)
+            near = make_intersecting_instance(set_size, overlap=1, seed=1)
+            exact = ExactDistinctCountProtocol()
+            approx = ApproxDistinctCountProtocol(num_registers=64, seed=2)
+            exact_disjoint = solve_disjointness_via_count_distinct(disjoint, exact)
+            exact_near = solve_disjointness_via_count_distinct(near, exact)
+            approx_near = solve_disjointness_via_count_distinct(near, approx, tolerance=0.02)
+            results.append(
+                (set_size, exact_disjoint, exact_near, approx_near)
+            )
+        return results
+
+    results = run_once(benchmark, sweep)
+    rows = []
+    for set_size, exact_disjoint, exact_near, approx_near in results:
+        rows.append([
+            2 * set_size,
+            exact_disjoint.correct and exact_near.correct,
+            exact_disjoint.cut_bits,
+            approx_near.correct,
+            approx_near.cut_bits,
+        ])
+    print()
+    print(format_table(
+        ["n (nodes)", "exact decides 2SD?", "exact cut bits", "approx decides 2SD?", "approx cut bits"],
+        rows,
+        title="E7b  the Set-Disjointness reduction of Theorem 5.1",
+    ))
+
+    # The exact protocol always decides 2SD, and its cut traffic grows linearly.
+    assert all(row[1] for row in rows)
+    cut_bits = [row[2] for row in rows]
+    assert cut_bits[-1] > 8 * cut_bits[0]
+    # The approximate protocol's cut traffic stays flat — it escapes the lower
+    # bound precisely because it cannot decide near-disjoint instances.
+    approx_cuts = [row[4] for row in rows]
+    assert max(approx_cuts) <= 1.3 * min(approx_cuts)
+    benchmark.extra_info["exact_cut_bits"] = cut_bits
+    benchmark.extra_info["approx_cut_bits"] = approx_cuts

@@ -1,0 +1,79 @@
+"""E3 — Theorem 3.2: exact median with O((log N)^2) bits per node.
+
+Reproduces the headline deterministic result: the protocol is always exact,
+uses O(log N) probes, and its per-node communication grows like
+log N · log X̄ — the table reports the measured bits alongside the fitted
+constant against that envelope, and the power-law exponent (≈ 0, i.e. not
+linear in N).
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.analysis.experiments import run_exact_median_sweep
+from repro.analysis.metrics import fit_against_model, fit_growth_exponent
+from repro.analysis.report import format_table
+from repro.analysis.theory import exact_median_bits_envelope
+
+SIZES = [64, 144, 324, 729, 1600]
+
+
+def test_exact_median_scaling(benchmark):
+    records = run_once(benchmark, run_exact_median_sweep, SIZES)
+
+    rows = [
+        [
+            record.num_items,
+            record.domain_max,
+            int(record.answer),
+            record.extra["exact"],
+            record.extra["probes"],
+            record.max_node_bits,
+        ]
+        for record in records
+    ]
+    print()
+    print(format_table(
+        ["N", "X̄", "median", "exact?", "probes", "max bits/node"],
+        rows,
+        title="E3  Theorem 3.2 — deterministic median (Fig. 1)",
+    ))
+
+    assert all(record.extra["exact"] for record in records)
+
+    sizes = [record.num_items for record in records]
+    costs = [record.max_node_bits for record in records]
+    exponent, _ = fit_growth_exponent(sizes, costs)
+    constant, spread = fit_against_model(
+        sizes, costs, lambda n: exact_median_bits_envelope(n, n * n)
+    )
+    benchmark.extra_info["power_law_exponent"] = round(exponent, 3)
+    benchmark.extra_info["logsq_model_constant"] = round(constant, 3)
+    benchmark.extra_info["logsq_model_ratio_spread"] = round(spread, 3)
+    # Shape checks: far from linear, and the (log N)^2 envelope tracks the
+    # measurements within a modest constant band across a 25x range of N.
+    assert exponent < 0.5
+    assert spread < 3.0
+
+
+def test_exact_median_workload_robustness(benchmark):
+    records = run_once(
+        benchmark,
+        run_exact_median_sweep,
+        [400],
+        workloads=("uniform", "zipf", "clustered", "bimodal", "adversarial_near_median"),
+    )
+    rows = [
+        [record.workload, int(record.answer), record.extra["exact"], record.max_node_bits]
+        for record in records
+    ]
+    print()
+    print(format_table(
+        ["workload", "median", "exact?", "max bits/node"],
+        rows,
+        title="E3b  deterministic median across workloads (N = 400)",
+    ))
+    assert all(record.extra["exact"] for record in records)
+    costs = [record.max_node_bits for record in records]
+    benchmark.extra_info["cost_range_across_workloads"] = (min(costs), max(costs))
+    assert max(costs) <= 2 * min(costs)  # worst-case bound is input independent

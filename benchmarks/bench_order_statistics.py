@@ -1,0 +1,49 @@
+"""E4 — Section 3.4: exact k-order statistics at the same O((log N)^2) cost.
+
+Reproduces the observation that the Fig. 1 binary search answers any rank,
+not just the median, with no change in complexity: the per-node cost is flat
+across the whole quantile range and every answer is exact.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.analysis.experiments import run_order_statistic_sweep
+from repro.analysis.report import format_table
+from repro.core.definitions import reference_order_statistic
+from repro.workloads.generators import generate_workload
+
+QUANTILES = (0.01, 0.05, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99)
+NUM_ITEMS = 400
+
+
+def test_order_statistics_across_quantiles(benchmark):
+    records = run_once(
+        benchmark, run_order_statistic_sweep, NUM_ITEMS, quantiles=QUANTILES
+    )
+    items = generate_workload("uniform", NUM_ITEMS, max_value=NUM_ITEMS * NUM_ITEMS, seed=0)
+
+    rows = []
+    for record in records:
+        quantile = record.extra["quantile"]
+        expected = reference_order_statistic(items, quantile * NUM_ITEMS)
+        rows.append([
+            quantile,
+            int(record.answer),
+            expected,
+            int(record.answer) == expected,
+            record.extra["probes"],
+            record.max_node_bits,
+        ])
+    print()
+    print(format_table(
+        ["quantile", "answer", "reference", "exact?", "probes", "max bits/node"],
+        rows,
+        title="E4  Section 3.4 — exact order statistics (N = 400)",
+    ))
+
+    assert all(row[3] for row in rows)
+    costs = [record.max_node_bits for record in records]
+    benchmark.extra_info["cost_range_across_quantiles"] = (min(costs), max(costs))
+    # The cost does not depend on which rank is queried.
+    assert max(costs) <= 1.5 * min(costs)

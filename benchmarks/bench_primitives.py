@@ -1,0 +1,69 @@
+"""E1 — Fact 2.1: MIN / MAX / COUNT / SUM / AVG cost O(log N) bits per node.
+
+Reproduces the claim that the TAG-style primitive aggregates stay
+logarithmic per node: the table reports the maximum per-node bits for each
+aggregate as N grows, together with the fitted power-law exponent (which
+should be far below 1, i.e. far from linear growth).
+"""
+
+from __future__ import annotations
+
+import math
+
+from benchmarks.conftest import run_once
+from repro.analysis.experiments import run_primitive_aggregates_sweep
+from repro.analysis.metrics import fit_against_model, fit_growth_exponent
+from repro.analysis.report import format_table
+
+SIZES = [64, 144, 324, 729, 1024]
+
+
+def test_primitive_aggregates_scaling(benchmark):
+    records = run_once(benchmark, run_primitive_aggregates_sweep, SIZES, topology="grid")
+
+    rows = []
+    per_protocol: dict[str, list[tuple[int, int]]] = {}
+    for record in records:
+        per_protocol.setdefault(record.protocol, []).append(
+            (record.num_items, record.max_node_bits)
+        )
+        rows.append(
+            [record.protocol, record.num_items, record.max_node_bits, record.rounds]
+        )
+    print()
+    print(format_table(
+        ["aggregate", "N", "max bits/node", "rounds"],
+        rows,
+        title="E1  Fact 2.1 — primitive aggregates",
+    ))
+
+    for protocol, points in per_protocol.items():
+        sizes = [n for n, _ in points]
+        costs = [bits for _, bits in points]
+        exponent, _ = fit_growth_exponent(sizes, costs)
+        _, spread = fit_against_model(sizes, costs, lambda n: math.log2(n))
+        benchmark.extra_info[f"{protocol}_power_law_exponent"] = round(exponent, 3)
+        benchmark.extra_info[f"{protocol}_log_model_ratio_spread"] = round(spread, 3)
+        # Paper shape: per-node cost is polylogarithmic, nowhere near linear.
+        assert exponent < 0.6, f"{protocol} grew like N^{exponent:.2f}"
+
+
+def test_primitive_aggregates_topology_insensitivity(benchmark):
+    def sweep():
+        results = {}
+        for topology in ("grid", "line", "random_geometric", "single_hop"):
+            records = run_primitive_aggregates_sweep([256], topology=topology)
+            results[topology] = max(record.max_node_bits for record in records)
+        return results
+
+    results = run_once(benchmark, sweep)
+    print()
+    print(format_table(
+        ["topology", "max bits/node (any aggregate)"],
+        [[name, bits] for name, bits in results.items()],
+        title="E1b  aggregates across topologies (N = 256)",
+    ))
+    benchmark.extra_info.update(results)
+    # With a bounded-degree tree no topology should be more than a small
+    # factor worse than the best one.
+    assert max(results.values()) <= 5 * min(results.values())

@@ -1,0 +1,16 @@
+"""Pytest path setup.
+
+Makes the ``src`` layout importable when the package has not been installed
+(e.g. on a machine without network access for ``pip install -e .``).  When the
+package *is* installed this is a harmless no-op because the installed copy
+shadows nothing — both point at the same source tree.
+"""
+
+import os
+import sys
+
+_ROOT = os.path.dirname(os.path.abspath(__file__))
+_SRC = os.path.join(_ROOT, "src")
+for _path in (_SRC, _ROOT):
+    if _path not in sys.path:
+        sys.path.insert(0, _path)

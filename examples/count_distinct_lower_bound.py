@@ -1,0 +1,79 @@
+"""The COUNT DISTINCT lower bound, made executable (Theorem 5.1).
+
+Run with::
+
+    python examples/count_distinct_lower_bound.py
+
+Builds the Set-Disjointness instances from the proof of Theorem 5.1, embeds
+them in a line network split between the two "players", and runs both the
+exact and the LogLog distinct-counting protocols through the reduction.  The
+output shows the three facts the section argues:
+
+1. the exact protocol decides disjointness — so it inherits 2SD's Ω(n) bound,
+   visible as linearly growing traffic across the cut edge;
+2. the approximate protocol's traffic stays flat in n;
+3. the approximate protocol cannot tell "disjoint" from "one shared value",
+   which is exactly why it escapes the lower bound.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import format_table
+from repro.distinct import (
+    ApproxDistinctCountProtocol,
+    ExactDistinctCountProtocol,
+    make_disjoint_instance,
+    make_intersecting_instance,
+    solve_disjointness_via_count_distinct,
+)
+
+SET_SIZES = [32, 128, 512]
+
+
+def main() -> None:
+    rows = []
+    for set_size in SET_SIZES:
+        disjoint = make_disjoint_instance(set_size, seed=7)
+        near_disjoint = make_intersecting_instance(set_size, overlap=1, seed=7)
+
+        exact = ExactDistinctCountProtocol()
+        approx = ApproxDistinctCountProtocol(num_registers=64, seed=9)
+
+        exact_on_disjoint = solve_disjointness_via_count_distinct(disjoint, exact)
+        exact_on_near = solve_disjointness_via_count_distinct(near_disjoint, exact)
+        approx_on_near = solve_disjointness_via_count_distinct(
+            near_disjoint, approx, tolerance=0.02
+        )
+
+        rows.append([
+            2 * set_size,
+            "yes" if (exact_on_disjoint.correct and exact_on_near.correct) else "NO",
+            exact_on_disjoint.cut_bits,
+            "yes" if approx_on_near.correct else "NO",
+            approx_on_near.cut_bits,
+            round(approx_on_near.distinct_count_reported, 1),
+            approx_on_near.distinct_count_true,
+        ])
+
+    print(format_table(
+        [
+            "n (nodes)",
+            "exact decides 2SD",
+            "exact cut bits",
+            "LogLog decides 2SD",
+            "LogLog cut bits",
+            "LogLog estimate",
+            "true distinct",
+        ],
+        rows,
+        title="Theorem 5.1 — Set-Disjointness reduction on a split line network",
+    ))
+    print()
+    print("Exact distinct counting pays for its exactness with linearly growing")
+    print("traffic across the cut; the LogLog protocol stays flat but cannot")
+    print("separate 'disjoint' from 'one shared element' — the paper's point that")
+    print("any protocol answering exactly (even with some probability) must be Ω(n).")
+
+
+if __name__ == "__main__":
+    main()

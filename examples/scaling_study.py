@@ -1,0 +1,97 @@
+"""Scaling study: reproduce the paper's who-wins-as-N-grows story on your laptop.
+
+Run with::
+
+    python examples/scaling_study.py
+
+Sweeps the network size and prints, for each N, the maximum per-node
+communication of:
+
+* the exact binary-search median of Fig. 1 (Theorem 3.2, O((log N)^2)),
+* the naive TAG treatment of MEDIAN (ship every value, Θ(N log N) at the root),
+* exact COUNT DISTINCT (Ω(N), Theorem 5.1),
+* approximate COUNT DISTINCT (O(log log N), Section 5).
+
+It then fits power-law exponents to the measurements and extrapolates where
+the polyloglog median of Fig. 4 overtakes the exact one (the constants of the
+LogLog sketches make that crossover astronomically far out — which the paper,
+being an asymptotic note, never disputes).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import run_baseline_comparison, run_count_distinct_sweep
+from repro.analysis.metrics import fit_growth_exponent
+from repro.analysis.report import format_table
+from repro.analysis.theory import (
+    exact_median_bits_envelope,
+    polyloglog_median_bits_envelope,
+    predicted_crossover,
+)
+
+SIZES = [64, 144, 324, 729]
+
+
+def main() -> None:
+    median_records = run_baseline_comparison(SIZES, include_gossip=False, apx_registers=32)
+    distinct_records = run_count_distinct_sweep(SIZES)
+
+    interesting = {
+        "MEDIAN (Fig.1)": [],
+        "APX_MEDIAN2 (Fig.4)": [],
+        "naive ship-all": [],
+    }
+    for record in median_records:
+        if record.protocol in interesting:
+            interesting[record.protocol].append((record.num_items, record.max_node_bits))
+    for label in ("COUNT_DISTINCT(exact)", "COUNT_DISTINCT(loglog,m=64)"):
+        interesting[label] = [
+            (record.num_items, record.max_node_bits)
+            for record in distinct_records
+            if record.protocol == label
+        ]
+
+    rows = []
+    for n in SIZES:
+        row = [n]
+        for protocol in interesting:
+            value = dict(interesting[protocol]).get(n, "-")
+            row.append(value)
+        rows.append(row)
+    print(format_table(
+        ["N"] + list(interesting), rows,
+        title="Max per-node bits as the network grows",
+    ))
+
+    print()
+    fit_rows = []
+    for protocol, points in interesting.items():
+        exponent, _ = fit_growth_exponent(*zip(*points))
+        fit_rows.append([protocol, round(exponent, 2)])
+    print(format_table(
+        ["protocol", "fitted growth exponent (cost ~ N^p)"],
+        fit_rows,
+        title="Growth-rate fits (p ~ 1 means linear, p ~ 0 means polylog)",
+    ))
+
+    # Model-based crossover extrapolation for Fig. 1 vs Fig. 4.
+    fig1_points = dict(interesting["MEDIAN (Fig.1)"])
+    fig4_points = dict(interesting["APX_MEDIAN2 (Fig.4)"])
+    n0 = SIZES[0]
+    exact_constant = fig1_points[n0] / exact_median_bits_envelope(n0, n0 * n0)
+    approx_constant = fig4_points[n0] / polyloglog_median_bits_envelope(
+        n0, num_registers=32, beta=1 / 16, epsilon=0.25
+    )
+    crossover = predicted_crossover(
+        exact_constant, approx_constant, num_registers=32, beta=1 / 16, epsilon=0.25
+    )
+    print()
+    if crossover is None:
+        print("Extrapolated crossover of Fig. 4 below Fig. 1: beyond 2^400 items "
+              "(the constants of the counting sketches dominate at any realistic N).")
+    else:
+        print(f"Extrapolated crossover of Fig. 4 below Fig. 1: N ~ {crossover:.3g} items.")
+
+
+if __name__ == "__main__":
+    main()

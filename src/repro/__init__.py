@@ -1,0 +1,92 @@
+"""repro — reproduction of Patt-Shamir's sensor-network aggregate queries.
+
+This package reproduces, as a runnable Python library, the protocols and
+claims of:
+
+    Boaz Patt-Shamir, "A note on efficient aggregate queries in sensor
+    networks", PODC 2004 (preliminary version); Theoretical Computer Science
+    370 (2007) 254-264 (full version).
+
+Quick start::
+
+    from repro import SensorNetwork, DeterministicMedianProtocol
+
+    readings = [17, 4, 23, 8, 15, 42, 16, 9, 30]
+    network = SensorNetwork.from_items(readings, topology="grid")
+    result = DeterministicMedianProtocol().run(network)
+    print(result.value.median, result.max_node_bits)
+
+The top-level namespace re-exports the pieces most users need: the network
+simulator, the deterministic and approximate median protocols, the primitive
+aggregation protocols and the verification helpers.  Substrates (sketches,
+baselines, workloads, the experiment harness) live in their own subpackages.
+"""
+
+from repro.core import (
+    ApproximateMedianProtocol,
+    ApproximateOrderStatisticProtocol,
+    DeterministicMedianProtocol,
+    DeterministicOrderStatisticProtocol,
+    PolyloglogMedianProtocol,
+    RepetitionPolicy,
+    is_approximate_order_statistic,
+    is_median,
+    is_order_statistic,
+    rank,
+    reference_median,
+    reference_order_statistic,
+)
+from repro.exceptions import (
+    BudgetExceededError,
+    ConfigurationError,
+    EmptyNetworkError,
+    ProtocolError,
+    ReproError,
+    TopologyError,
+)
+from repro.network import CommunicationLedger, EnergyModel, SensorNetwork
+from repro.protocols import (
+    ApproxCountProtocol,
+    AverageProtocol,
+    CountPredicateProtocol,
+    CountProtocol,
+    LessThanPredicate,
+    MaxProtocol,
+    MinProtocol,
+    SumProtocol,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ApproximateMedianProtocol",
+    "ApproximateOrderStatisticProtocol",
+    "DeterministicMedianProtocol",
+    "DeterministicOrderStatisticProtocol",
+    "PolyloglogMedianProtocol",
+    "RepetitionPolicy",
+    "is_approximate_order_statistic",
+    "is_median",
+    "is_order_statistic",
+    "rank",
+    "reference_median",
+    "reference_order_statistic",
+    "BudgetExceededError",
+    "ConfigurationError",
+    "EmptyNetworkError",
+    "ProtocolError",
+    "ReproError",
+    "TopologyError",
+    "CommunicationLedger",
+    "EnergyModel",
+    "SensorNetwork",
+    "ApproxCountProtocol",
+    "AverageProtocol",
+    "CountPredicateProtocol",
+    "CountProtocol",
+    "LessThanPredicate",
+    "MaxProtocol",
+    "MinProtocol",
+    "SumProtocol",
+    "__version__",
+]

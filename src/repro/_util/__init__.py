@@ -1,0 +1,28 @@
+"""Internal utilities shared across the ``repro`` package."""
+
+from repro._util.bits import (
+    bit_width,
+    encoded_int_bits,
+    fixed_width_bits,
+    varint_bits,
+)
+from repro._util.randomness import make_rng, spawn_rngs
+from repro._util.validation import (
+    require_integer,
+    require_non_negative,
+    require_positive,
+    require_probability,
+)
+
+__all__ = [
+    "bit_width",
+    "encoded_int_bits",
+    "fixed_width_bits",
+    "varint_bits",
+    "make_rng",
+    "spawn_rngs",
+    "require_integer",
+    "require_non_negative",
+    "require_positive",
+    "require_probability",
+]

@@ -1,0 +1,562 @@
+"""Sweep runners for the experiments of DESIGN.md (E1–E9).
+
+Each function runs one experiment family and returns plain records that the
+``benchmarks/`` targets print as tables (and the test-suite sanity-checks at
+small sizes).  The functions are deliberately free of pytest / benchmark
+dependencies so they can also be driven from the example scripts.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.analysis.metrics import RunRecord, median_accuracy
+from repro.baselines import (
+    GKMedianProtocol,
+    GossipMedianProtocol,
+    NaiveShipAllMedianProtocol,
+    QDigestMedianProtocol,
+    SamplingMedianProtocol,
+)
+from repro.core.apx_median import ApproximateMedianProtocol
+from repro.core.apx_median2 import PolyloglogMedianProtocol
+from repro.core.definitions import (
+    is_approximate_order_statistic,
+    reference_median,
+)
+from repro.core.median import DeterministicMedianProtocol
+from repro.core.order_statistics import DeterministicOrderStatisticProtocol
+from repro.core.rep_count import RepetitionPolicy
+from repro.distinct import ApproxDistinctCountProtocol, ExactDistinctCountProtocol
+from repro.network.simulator import SensorNetwork
+from repro.protocols.aggregates import (
+    AverageProtocol,
+    CountProtocol,
+    MaxProtocol,
+    MinProtocol,
+    SumProtocol,
+)
+from repro.protocols.apx_count import ApproxCountProtocol
+from repro.workloads.generators import generate_workload
+
+
+def default_domain(num_items: int) -> int:
+    """The paper's standing assumption: values are polynomial in N (here N²)."""
+    return max(4, num_items * num_items)
+
+
+def build_network(
+    num_items: int,
+    workload: str = "uniform",
+    topology: str = "grid",
+    domain_max: int | None = None,
+    seed: int = 0,
+    degree_bound: int | None = 3,
+) -> tuple[SensorNetwork, list[int], int]:
+    """Build a seeded network for one experiment point.
+
+    Returns ``(network, items, domain_max)``.
+    """
+    domain = domain_max if domain_max is not None else default_domain(num_items)
+    items = generate_workload(workload, num_items, max_value=domain, seed=seed)
+    network = SensorNetwork.from_items(
+        items, topology=topology, seed=seed, degree_bound=degree_bound
+    )
+    return network, items, domain
+
+
+def _record(
+    protocol: str,
+    workload: str,
+    topology: str,
+    network: SensorNetwork,
+    items: list[int],
+    domain: int,
+    answer: float,
+    result,
+    **extra,
+) -> RunRecord:
+    return RunRecord(
+        protocol=protocol,
+        workload=workload,
+        topology=topology,
+        num_nodes=network.num_nodes,
+        num_items=len(items),
+        domain_max=domain,
+        answer=answer,
+        true_median=float(reference_median(items)),
+        max_node_bits=result.max_node_bits,
+        total_bits=result.total_bits,
+        messages=result.messages,
+        rounds=result.rounds,
+        extra=extra,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# E1 — primitive aggregates (Fact 2.1)
+# --------------------------------------------------------------------------- #
+def run_primitive_aggregates_sweep(
+    sizes: Sequence[int],
+    topology: str = "grid",
+    workload: str = "uniform",
+    seed: int = 0,
+) -> list[RunRecord]:
+    """Per-node cost of MIN / MAX / COUNT / SUM / AVG as N grows."""
+    records: list[RunRecord] = []
+    for num_items in sizes:
+        network, items, domain = build_network(
+            num_items, workload=workload, topology=topology, seed=seed
+        )
+        protocols = {
+            "MIN": MinProtocol(domain_max=domain),
+            "MAX": MaxProtocol(domain_max=domain),
+            "COUNT": CountProtocol(),
+            "SUM": SumProtocol(),
+            "AVG": AverageProtocol(),
+        }
+        for name, protocol in protocols.items():
+            network.reset_ledger()
+            result = protocol.run(network)
+            answer = float(result.value)
+            records.append(
+                _record(name, workload, topology, network, items, domain, answer, result)
+            )
+    return records
+
+
+# --------------------------------------------------------------------------- #
+# E2 — approximate counting (Fact 2.2)
+# --------------------------------------------------------------------------- #
+def run_apx_count_sweep(
+    sizes: Sequence[int],
+    register_counts: Sequence[int] = (16, 64, 256),
+    trials: int = 5,
+    topology: str = "grid",
+    workload: str = "uniform",
+    seed: int = 0,
+) -> list[RunRecord]:
+    """Accuracy and per-node bits of APX_COUNT versus N and sketch size m."""
+    records: list[RunRecord] = []
+    for num_items in sizes:
+        network, items, domain = build_network(
+            num_items, workload=workload, topology=topology, seed=seed
+        )
+        for num_registers in register_counts:
+            protocol = ApproxCountProtocol(
+                num_registers=num_registers, seed=seed, max_expected_count=4 * num_items
+            )
+            errors = []
+            last_result = None
+            for _ in range(trials):
+                network.reset_ledger()
+                last_result = protocol.run(network)
+                errors.append(
+                    abs(last_result.value.estimate - num_items) / num_items
+                )
+            records.append(
+                _record(
+                    f"APX_COUNT(m={num_registers})",
+                    workload,
+                    topology,
+                    network,
+                    items,
+                    domain,
+                    last_result.value.estimate,
+                    last_result,
+                    mean_relative_error=sum(errors) / len(errors),
+                    predicted_sigma=last_result.value.relative_sigma,
+                    trials=trials,
+                )
+            )
+    return records
+
+
+# --------------------------------------------------------------------------- #
+# E3 — deterministic exact median (Theorem 3.2)
+# --------------------------------------------------------------------------- #
+def run_exact_median_sweep(
+    sizes: Sequence[int],
+    topologies: Sequence[str] = ("grid",),
+    workloads: Sequence[str] = ("uniform",),
+    seed: int = 0,
+) -> list[RunRecord]:
+    """Correctness and per-node bits of Fig. 1 as N grows."""
+    records: list[RunRecord] = []
+    for topology in topologies:
+        for workload in workloads:
+            for num_items in sizes:
+                network, items, domain = build_network(
+                    num_items, workload=workload, topology=topology, seed=seed
+                )
+                result = DeterministicMedianProtocol(domain_max=domain).run(network)
+                accuracy = median_accuracy(items, result.value.median)
+                records.append(
+                    _record(
+                        "MEDIAN",
+                        workload,
+                        topology,
+                        network,
+                        items,
+                        domain,
+                        float(result.value.median),
+                        result,
+                        exact=accuracy.exact,
+                        probes=result.value.probes,
+                    )
+                )
+    return records
+
+
+# --------------------------------------------------------------------------- #
+# E4 — deterministic order statistics (Section 3.4)
+# --------------------------------------------------------------------------- #
+def run_order_statistic_sweep(
+    num_items: int,
+    quantiles: Sequence[float] = (0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99),
+    topology: str = "grid",
+    workload: str = "uniform",
+    seed: int = 0,
+) -> list[RunRecord]:
+    """Exact k-order statistics across the quantile range."""
+    records: list[RunRecord] = []
+    network, items, domain = build_network(
+        num_items, workload=workload, topology=topology, seed=seed
+    )
+    for quantile in quantiles:
+        network.reset_ledger()
+        result = DeterministicOrderStatisticProtocol(
+            quantile=quantile, domain_max=domain
+        ).run(network)
+        records.append(
+            _record(
+                f"OS(q={quantile})",
+                workload,
+                topology,
+                network,
+                items,
+                domain,
+                float(result.value.value),
+                result,
+                quantile=quantile,
+                probes=result.value.probes,
+            )
+        )
+    return records
+
+
+# --------------------------------------------------------------------------- #
+# E5 — approximate median success probability (Theorems 4.5 / 4.6)
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class ApproxMedianTrialSummary:
+    """Aggregate of repeated APX_MEDIAN runs on one input."""
+
+    num_items: int
+    epsilon: float
+    num_registers: int
+    trials: int
+    success_rate: float
+    mean_rank_error: float
+    mean_value_error: float
+    mean_max_node_bits: float
+    alpha_guarantee: float
+    beta_guarantee: float
+
+
+def run_apx_median_trials(
+    num_items: int,
+    trials: int = 20,
+    epsilon: float = 0.2,
+    num_registers: int = 256,
+    alpha_slack: float = 1.0,
+    beta_slack: float = 0.05,
+    repetition_policy: RepetitionPolicy | None = None,
+    topology: str = "grid",
+    workload: str = "uniform",
+    seed: int = 0,
+) -> ApproxMedianTrialSummary:
+    """Repeat APX_MEDIAN and measure how often the output is an (α, β)-median.
+
+    The success criterion uses ``α = alpha_slack · 3σ`` (the theorem's
+    guarantee scaled by ``alpha_slack``) and ``β = beta_slack`` — the latter is
+    looser than the theorem's 1/N because the practical repetition policy runs
+    far fewer repetitions than the paper's constants (see DESIGN.md §5).
+    """
+    network, items, domain = build_network(
+        num_items, workload=workload, topology=topology, seed=seed
+    )
+    successes = 0
+    rank_errors = []
+    value_errors = []
+    bits = []
+    alpha_guarantee = 0.0
+    beta_guarantee = 0.0
+    for trial in range(trials):
+        network.reset_ledger()
+        protocol = ApproximateMedianProtocol(
+            epsilon=epsilon,
+            num_registers=num_registers,
+            repetition_policy=repetition_policy,
+            seed=seed * 1_000 + trial,
+        )
+        result = protocol.run(network)
+        outcome = result.value
+        alpha_guarantee = outcome.alpha_guarantee
+        beta_guarantee = outcome.beta_guarantee
+        alpha = alpha_slack * outcome.alpha_guarantee
+        if is_approximate_order_statistic(
+            items, len(items) / 2.0, outcome.value, alpha=alpha, beta=beta_slack
+        ):
+            successes += 1
+        accuracy = median_accuracy(items, outcome.value)
+        rank_errors.append(accuracy.rank_error)
+        value_errors.append(accuracy.value_error)
+        bits.append(result.max_node_bits)
+    return ApproxMedianTrialSummary(
+        num_items=num_items,
+        epsilon=epsilon,
+        num_registers=num_registers,
+        trials=trials,
+        success_rate=successes / trials,
+        mean_rank_error=sum(rank_errors) / trials,
+        mean_value_error=sum(value_errors) / trials,
+        mean_max_node_bits=sum(bits) / trials,
+        alpha_guarantee=alpha_guarantee,
+        beta_guarantee=beta_guarantee,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# E6 — polyloglog median scaling (Theorem 4.7 / Corollary 4.8)
+# --------------------------------------------------------------------------- #
+def run_polyloglog_sweep(
+    sizes: Sequence[int],
+    beta: float = 1.0 / 16.0,
+    epsilon: float = 0.25,
+    num_registers: int = 64,
+    topology: str = "grid",
+    workload: str = "uniform",
+    seed: int = 0,
+) -> list[RunRecord]:
+    """Per-node bits and value error of APX_MEDIAN2 as N grows."""
+    records: list[RunRecord] = []
+    for num_items in sizes:
+        network, items, domain = build_network(
+            num_items, workload=workload, topology=topology, seed=seed
+        )
+        protocol = PolyloglogMedianProtocol(
+            beta=beta, epsilon=epsilon, num_registers=num_registers, seed=seed
+        )
+        result = protocol.run(network)
+        accuracy = median_accuracy(items, result.value.value)
+        records.append(
+            _record(
+                "APX_MEDIAN2",
+                workload,
+                topology,
+                network,
+                items,
+                domain,
+                float(result.value.value),
+                result,
+                beta=beta,
+                value_error=accuracy.value_error,
+                rank_error=accuracy.rank_error,
+                stages=len(result.value.stages),
+            )
+        )
+    return records
+
+
+# --------------------------------------------------------------------------- #
+# E7 — COUNT DISTINCT: exact vs approximate (Theorem 5.1)
+# --------------------------------------------------------------------------- #
+def run_count_distinct_sweep(
+    sizes: Sequence[int],
+    num_registers: int = 64,
+    topology: str = "line",
+    seed: int = 0,
+) -> list[RunRecord]:
+    """Exact (linear) versus approximate (loglog) distinct counting.
+
+    Uses a line topology with all-distinct values — the shape of the
+    Set-Disjointness embedding — so the linear traffic through the middle of
+    the line is exactly the quantity Theorem 5.1 lower-bounds.
+    """
+    records: list[RunRecord] = []
+    for num_items in sizes:
+        domain = default_domain(num_items)
+        items = generate_workload("sequential", num_items, max_value=domain, seed=seed)
+        network = SensorNetwork.from_items(items, topology=topology, seed=seed)
+        true_distinct = len(set(items))
+
+        exact_result = ExactDistinctCountProtocol(domain_max=domain).run(network)
+        records.append(
+            _record(
+                "COUNT_DISTINCT(exact)",
+                "sequential",
+                topology,
+                network,
+                items,
+                domain,
+                float(exact_result.value),
+                exact_result,
+                true_distinct=true_distinct,
+            )
+        )
+        network.reset_ledger()
+        approx_result = ApproxDistinctCountProtocol(
+            num_registers=num_registers, seed=seed
+        ).run(network)
+        records.append(
+            _record(
+                f"COUNT_DISTINCT(loglog,m={num_registers})",
+                "sequential",
+                topology,
+                network,
+                items,
+                domain,
+                approx_result.value.estimate,
+                approx_result,
+                true_distinct=true_distinct,
+                relative_error=abs(approx_result.value.estimate - true_distinct)
+                / max(1, true_distinct),
+            )
+        )
+    return records
+
+
+# --------------------------------------------------------------------------- #
+# E8 — baseline comparison
+# --------------------------------------------------------------------------- #
+def run_baseline_comparison(
+    sizes: Sequence[int],
+    topology: str = "grid",
+    workload: str = "uniform",
+    seed: int = 0,
+    include_gossip: bool = True,
+    apx_registers: int = 64,
+) -> list[RunRecord]:
+    """All median protocols (paper's and baselines) on the same inputs."""
+    records: list[RunRecord] = []
+    for num_items in sizes:
+        network, items, domain = build_network(
+            num_items, workload=workload, topology=topology, seed=seed
+        )
+        protocols: list[tuple[str, object]] = [
+            ("MEDIAN (Fig.1)", DeterministicMedianProtocol(domain_max=domain)),
+            (
+                "APX_MEDIAN (Fig.2)",
+                ApproximateMedianProtocol(
+                    epsilon=0.2, num_registers=apx_registers, seed=seed
+                ),
+            ),
+            (
+                "APX_MEDIAN2 (Fig.4)",
+                PolyloglogMedianProtocol(
+                    beta=1.0 / 16.0, epsilon=0.25, num_registers=apx_registers, seed=seed
+                ),
+            ),
+            ("naive ship-all", NaiveShipAllMedianProtocol(domain_max=domain)),
+            ("sampling (Nath)", SamplingMedianProtocol(sample_size=32, domain_max=domain)),
+            ("GK summary", GKMedianProtocol(epsilon=0.05, domain_max=domain)),
+            ("q-digest", QDigestMedianProtocol(compression=32, domain_max=domain)),
+        ]
+        if include_gossip:
+            protocols.append(("gossip push-sum", GossipMedianProtocol(seed=seed)))
+        for name, protocol in protocols:
+            network.reset_ledger()
+            result = protocol.run(network)
+            outcome = result.value
+            answer = getattr(outcome, "median", None)
+            if answer is None:
+                answer = getattr(outcome, "value", outcome)
+            accuracy = median_accuracy(items, float(answer))
+            records.append(
+                _record(
+                    name,
+                    workload,
+                    topology,
+                    network,
+                    items,
+                    domain,
+                    float(answer),
+                    result,
+                    exact=accuracy.exact,
+                    rank_error=accuracy.rank_error,
+                    value_error=accuracy.value_error,
+                )
+            )
+    return records
+
+
+# --------------------------------------------------------------------------- #
+# E9 — ablations
+# --------------------------------------------------------------------------- #
+def run_repetition_ablation(
+    num_items: int,
+    caps: Sequence[int] = (1, 2, 4, 8, 16),
+    trials: int = 10,
+    epsilon: float = 0.2,
+    num_registers: int = 64,
+    seed: int = 0,
+) -> list[ApproxMedianTrialSummary]:
+    """Effect of the REP_COUNTP repetition cap on accuracy and cost."""
+    summaries = []
+    for cap in caps:
+        summaries.append(
+            run_apx_median_trials(
+                num_items,
+                trials=trials,
+                epsilon=epsilon,
+                num_registers=num_registers,
+                repetition_policy=RepetitionPolicy.practical(cap=cap),
+                seed=seed,
+            )
+        )
+    return summaries
+
+
+def run_degree_bound_ablation(
+    num_items: int,
+    degree_bounds: Sequence[int | None] = (None, 2, 3, 4, 8),
+    topology: str = "star",
+    workload: str = "uniform",
+    seed: int = 0,
+) -> list[RunRecord]:
+    """Effect of the spanning-tree degree bound on the per-node cost.
+
+    On hub-heavy topologies an unbounded BFS tree concentrates traffic at the
+    hub; the bounded-degree construction spreads it, which is the remark the
+    paper makes after Fact 2.1.  On the star the hub is unavoidable — the
+    records show the bound is best-effort there.
+    """
+    records: list[RunRecord] = []
+    for degree_bound in degree_bounds:
+        network, items, domain = build_network(
+            num_items,
+            workload=workload,
+            topology=topology,
+            seed=seed,
+            degree_bound=degree_bound,
+        )
+        result = DeterministicMedianProtocol(domain_max=domain).run(network)
+        records.append(
+            _record(
+                f"MEDIAN(degree_bound={degree_bound})",
+                workload,
+                topology,
+                network,
+                items,
+                domain,
+                float(result.value.median),
+                result,
+                degree_bound=degree_bound if degree_bound is not None else 0,
+                tree_degree=network.tree.max_degree(),
+                tree_height=network.tree.height,
+            )
+        )
+    return records

@@ -1,0 +1,117 @@
+"""The paper's asymptotic cost claims as concrete envelope functions.
+
+Each function returns the *predicted shape* of the per-node communication
+cost, up to a constant factor that the experiments fit from the measurements
+(:func:`repro.analysis.metrics.fit_against_model`).  The functions are also
+used to extrapolate the exact-vs-approximate crossover point: the approximate
+protocols pay large constants (a LogLog sketch per probe), so they only win
+for networks far larger than a pure-Python simulation can execute — the paper
+itself is explicit that the result is asymptotic.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.exceptions import ConfigurationError
+
+
+def _log2(value: float) -> float:
+    if value <= 1:
+        return 1.0
+    return math.log2(value)
+
+
+def exact_median_bits_envelope(num_items: float, domain_max: float | None = None) -> float:
+    """Theorem 3.2: O((log N)^2), or more precisely O(log X̄ · log N) per node."""
+    if num_items <= 0:
+        raise ConfigurationError("num_items must be positive")
+    log_domain = _log2(domain_max) if domain_max is not None else _log2(num_items)
+    return _log2(num_items) * log_domain
+
+
+def apx_median_bits_envelope(
+    num_items: float,
+    domain_max: float | None = None,
+    num_registers: int = 64,
+    epsilon: float = 0.1,
+) -> float:
+    """Theorem 4.5: O((log max X)^2 · C_A(N) / ε) with C_A(N) = m · log log N."""
+    if num_items <= 0:
+        raise ConfigurationError("num_items must be positive")
+    log_domain = _log2(domain_max) if domain_max is not None else _log2(num_items)
+    counting_cost = num_registers * _log2(_log2(num_items))
+    return (log_domain ** 2) * counting_cost / epsilon
+
+
+def polyloglog_median_bits_envelope(
+    num_items: float,
+    num_registers: int = 64,
+    beta: float = 1.0 / 16.0,
+    epsilon: float = 0.25,
+) -> float:
+    """Theorem 4.7 / Corollary 4.8: O((log log N)^3) for constant β, ε.
+
+    Written out with its parameters:
+    ``(log log max X)^2 · C_A(N) · (log 1/β)^2 / ε`` with
+    ``C_A(N) = m · log log N``.
+    """
+    if num_items <= 0:
+        raise ConfigurationError("num_items must be positive")
+    loglog = _log2(_log2(num_items))
+    zoom = max(1.0, math.log2(1.0 / beta))
+    return (loglog ** 2) * (num_registers * loglog) * (zoom ** 2) / epsilon
+
+
+def naive_median_bits_envelope(num_items: float, domain_max: float | None = None) -> float:
+    """Holistic (ship-all-values) median: Θ(N log X̄) at nodes adjacent to the root."""
+    if num_items <= 0:
+        raise ConfigurationError("num_items must be positive")
+    log_domain = _log2(domain_max) if domain_max is not None else _log2(num_items)
+    return num_items * log_domain
+
+
+def exact_distinct_bits_envelope(num_items: float) -> float:
+    """Theorem 5.1: Ω(n) bits at some node for exact COUNT DISTINCT."""
+    if num_items <= 0:
+        raise ConfigurationError("num_items must be positive")
+    return float(num_items)
+
+
+def approx_distinct_bits_envelope(num_items: float, num_registers: int = 64) -> float:
+    """Approximate COUNT DISTINCT: O(m log log n) bits per node."""
+    if num_items <= 0:
+        raise ConfigurationError("num_items must be positive")
+    return num_registers * _log2(_log2(num_items))
+
+
+def predicted_crossover(
+    exact_constant: float,
+    approx_constant: float,
+    domain_of: "callable" = None,
+    num_registers: int = 64,
+    epsilon: float = 0.25,
+    beta: float = 1.0 / 16.0,
+    max_exponent: int = 400,
+) -> float | None:
+    """Smallest N (as a power of two) where the fitted polyloglog cost drops
+    below the fitted exact-median cost.
+
+    ``exact_constant`` and ``approx_constant`` are the constants fitted from
+    measurements against :func:`exact_median_bits_envelope` and
+    :func:`polyloglog_median_bits_envelope`.  ``domain_of(N)`` maps the item
+    count to the value-domain bound used in the sweep (defaults to N²,
+    matching the paper's "values polynomial in N" assumption).  Returns
+    ``None`` when no crossover occurs below ``2^max_exponent``.
+    """
+    if domain_of is None:
+        domain_of = lambda n: n ** 2  # noqa: E731 - tiny default mapping
+    for exponent in range(3, max_exponent + 1):
+        n = 2.0 ** exponent
+        exact_cost = exact_constant * exact_median_bits_envelope(n, domain_of(n))
+        approx_cost = approx_constant * polyloglog_median_bits_envelope(
+            n, num_registers=num_registers, beta=beta, epsilon=epsilon
+        )
+        if approx_cost < exact_cost:
+            return n
+    return None

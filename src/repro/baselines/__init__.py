@@ -1,0 +1,31 @@
+"""Baseline median protocols the paper compares against (Section 1).
+
+* :mod:`repro.baselines.naive` — ship every raw value to the root (the TAG
+  "holistic aggregate" treatment of MEDIAN): exact, but linear communication
+  at nodes near the root.
+* :mod:`repro.baselines.sampling_median` — uniform-sampling synopsis median
+  (Nath et al.): Ω(log N) bits per sampled item, approximate.
+* :mod:`repro.baselines.gk_median` — Greenwald–Khanna quantile summaries
+  aggregated up the tree (the concurrent result [4]).
+* :mod:`repro.baselines.qdigest_median` — q-digest summaries (Shrivastava et
+  al.), the other classic sensor-network quantile sketch of the same era.
+* :mod:`repro.baselines.gossip_median` — binary search whose rank probes are
+  answered by push-sum gossip (the Kempe et al. [6] flavour of aggregation).
+
+All baselines expose the same ``run(network) -> ProtocolResult`` interface as
+the core protocols so experiment E8 can sweep them uniformly.
+"""
+
+from repro.baselines.gk_median import GKMedianProtocol
+from repro.baselines.gossip_median import GossipMedianProtocol
+from repro.baselines.naive import NaiveShipAllMedianProtocol
+from repro.baselines.qdigest_median import QDigestMedianProtocol
+from repro.baselines.sampling_median import SamplingMedianProtocol
+
+__all__ = [
+    "GKMedianProtocol",
+    "GossipMedianProtocol",
+    "NaiveShipAllMedianProtocol",
+    "QDigestMedianProtocol",
+    "SamplingMedianProtocol",
+]

@@ -1,0 +1,59 @@
+"""The paper's primary contribution.
+
+* :mod:`repro.core.definitions` — the rank function ℓ, exact and approximate
+  order-statistic definitions (Definitions 2.3 and 2.4) and reference
+  implementations used for verification.
+* :mod:`repro.core.median` — the deterministic median algorithm of Fig. 1
+  (Theorem 3.2): binary search over the value range with exact COUNTP probes.
+* :mod:`repro.core.order_statistics` — the Section 3.4 generalisation to any
+  k-order statistic.
+* :mod:`repro.core.rep_count` — REP_COUNTP (Fig. 2's subroutine): averaging of
+  repeated α-counting invocations, with the repetition policy made explicit.
+* :mod:`repro.core.apx_median` — the approximate median / order-statistic
+  algorithm of Fig. 2 (Theorems 4.5 and 4.6).
+* :mod:`repro.core.apx_median2` — the polyloglog algorithm of Fig. 4
+  (Theorem 4.7, Corollary 4.8): length reduction, zoom-in and rescaling.
+"""
+
+from repro.core.apx_median import (
+    ApproximateMedianProtocol,
+    ApproximateOrderStatisticProtocol,
+    ApproxMedianOutcome,
+)
+from repro.core.apx_median2 import PolyloglogMedianProtocol, PolyloglogOutcome
+from repro.core.definitions import (
+    approximate_order_statistic_interval,
+    is_approximate_order_statistic,
+    is_median,
+    is_order_statistic,
+    rank,
+    reference_median,
+    reference_order_statistic,
+)
+from repro.core.median import DeterministicMedianProtocol, MedianOutcome
+from repro.core.order_statistics import (
+    DeterministicOrderStatisticProtocol,
+    OrderStatisticOutcome,
+)
+from repro.core.rep_count import RepeatedApproxCount, RepetitionPolicy
+
+__all__ = [
+    "ApproximateMedianProtocol",
+    "ApproximateOrderStatisticProtocol",
+    "ApproxMedianOutcome",
+    "PolyloglogMedianProtocol",
+    "PolyloglogOutcome",
+    "approximate_order_statistic_interval",
+    "is_approximate_order_statistic",
+    "is_median",
+    "is_order_statistic",
+    "rank",
+    "reference_median",
+    "reference_order_statistic",
+    "DeterministicMedianProtocol",
+    "MedianOutcome",
+    "DeterministicOrderStatisticProtocol",
+    "OrderStatisticOutcome",
+    "RepeatedApproxCount",
+    "RepetitionPolicy",
+]

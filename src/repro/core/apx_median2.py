@@ -1,0 +1,288 @@
+"""Polyloglog approximate median — Algorithm APX_MEDIAN2 of Fig. 4.
+
+The key idea (Section 4.2): instead of binary-searching the *value* of the
+median, search the *length* (logarithm) of the value.  Each node locally
+replaces its item ``x`` by ``x̂ = floor(log2(x + 1))``, shrinking the search
+domain from ``[0, X̄]`` to ``[0, O(log X̄)]``, so every probe of the
+approximate order-statistic search costs only ``O(log log X̄)``-bit messages.
+A single pass pins the median down to a dyadic interval
+``[2^μ̂ − 1, 2^{μ̂+1} − 1)`` — constant *relative* precision.  To reach
+precision β, the algorithm zooms into that interval, rescales it to the full
+range ``[1, X̄]`` (Fig. 3's schematic), adjusts the target rank by the number
+of discarded smaller items, and repeats for ``ceil(log2(1/β))`` stages.
+
+Per Theorem 4.7 / Corollary 4.8 the per-node communication is
+``O((log log N)³)`` bits for constant β and ε.  The length transform, the
+active/passive decision and the rescaling are all node-local (the root only
+broadcasts μ̂, a ``O(log log X̄)``-bit value), which the implementation mirrors
+by storing the scaled value in each node's scratch state.
+
+Implementation notes (documented deviations, none affecting the asymptotics):
+
+* The paper's transform ``floor(log x)`` is undefined for ``x = 0``; we use
+  ``floor(log2(x + 1))`` throughout, shifting the dyadic boundaries by one.
+* Rescaled values are rounded down to integers so they remain valid protocol
+  inputs; the rounding error is one unit of the *current* scale, which after
+  ``j`` zoom-ins is at most ``2^{-j}`` of the original range — within the β
+  budget the stage is already charged for.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+
+from repro._util.bits import varint_bits
+from repro._util.validation import require_probability
+from repro.core.apx_median import ApproximateOrderStatisticProtocol
+from repro.core.rep_count import RepeatedApproxCount, RepetitionPolicy
+from repro.exceptions import ConfigurationError, EmptyNetworkError
+from repro.network.node import SensorNode
+from repro.network.simulator import SensorNetwork
+from repro.protocols.aggregates import MaxProtocol
+from repro.protocols.apx_count import ApproxCountProtocol
+from repro.protocols.base import MeteredRun, ProtocolResult
+from repro.protocols.broadcast import broadcast
+from repro.protocols.predicates import PowerThresholdPredicate
+
+_ACTIVE_KEY = "apxm2_active"
+_SCALED_KEY = "apxm2_scaled"
+
+
+@dataclass(frozen=True)
+class ZoomStage:
+    """Diagnostics for one zoom-in iteration."""
+
+    stage: int
+    mu_hat: int
+    k: float
+    interval_low_scaled: int
+    interval_width_scaled: int
+    original_low: float
+    original_scale: float
+    active_estimate: float
+
+
+@dataclass(frozen=True)
+class PolyloglogOutcome:
+    """Root-side outcome of Algorithm APX_MEDIAN2."""
+
+    value: int
+    n_estimate: float
+    stages: list[ZoomStage] = field(default_factory=list)
+    beta: float = 0.0
+    epsilon: float = 0.0
+    alpha_guarantee: float = 0.0
+
+
+def _log_length(value: int) -> int:
+    """The length transform x̂ = floor(log2(x + 1)) used in place of floor(log x)."""
+    return int(value + 1).bit_length() - 1
+
+
+class PolyloglogMedianProtocol:
+    """Algorithm APX_MEDIAN2(X, β, ε): approximate median with polyloglog bits."""
+
+    def __init__(
+        self,
+        beta: float = 1.0 / 16.0,
+        epsilon: float = 0.25,
+        num_registers: int = 256,
+        repetition_policy: RepetitionPolicy | None = None,
+        sketch: str = "loglog",
+        domain_max: int | None = None,
+        seed: int | random.Random | None = 0,
+    ) -> None:
+        self.beta = require_probability(beta, "beta")
+        self.epsilon = require_probability(epsilon, "epsilon")
+        if self.beta == 0.0 or self.epsilon == 0.0:
+            raise ConfigurationError("beta and epsilon must be strictly positive")
+        self.num_registers = num_registers
+        self.sketch = sketch
+        self.policy = (
+            repetition_policy
+            if repetition_policy is not None
+            else RepetitionPolicy.practical()
+        )
+        self.domain_max = domain_max
+        self._seed = seed
+        self._counter = ApproxCountProtocol(
+            num_registers=num_registers,
+            mode="multiset",
+            sketch=sketch,
+            view=self._active_scaled_view,
+            seed=seed,
+        )
+        self._rep_count = RepeatedApproxCount(
+            self._counter, view=self._active_scaled_view
+        )
+
+    # ------------------------------------------------------------------ #
+    # Node-local views (no communication)
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _active_scaled_view(node: SensorNode) -> list[int]:
+        """Scaled values of this node's items while the node is active."""
+        if not node.scratch.get(_ACTIVE_KEY, False):
+            return []
+        return list(node.scratch.get(_SCALED_KEY, []))
+
+    @classmethod
+    def _active_length_view(cls, node: SensorNode) -> list[int]:
+        """Length transform of the active scaled values (the X̂ of Fig. 4)."""
+        return [_log_length(value) for value in cls._active_scaled_view(node)]
+
+    @property
+    def sigma(self) -> float:
+        """Relative standard deviation of one underlying α-counting invocation."""
+        return self._counter.relative_sigma
+
+    # ------------------------------------------------------------------ #
+    def run(self, network: SensorNetwork) -> ProtocolResult:
+        """Execute Fig. 4; the result's ``value`` is a :class:`PolyloglogOutcome`."""
+        with MeteredRun(network) as metered:
+            if network.total_items() == 0:
+                raise EmptyNetworkError("cannot compute a median of an empty network")
+            domain_max = self.domain_max
+            if domain_max is None:
+                # The paper assumes X̄ is known a priori; when it is not, one
+                # exact MAX query (Fact 2.1, O(log N) bits) supplies it.
+                domain_max = MaxProtocol().run(network).value
+            domain_max = max(1, domain_max)
+
+            # Stage 0: announce the protocol; each node initialises its scaled
+            # value to its original item(s) and marks itself active.
+            broadcast(
+                network,
+                {"query": "APX_MEDIAN2", "beta": self.beta, "epsilon": self.epsilon},
+                16,
+                protocol="APX_MEDIAN2",
+            )
+            for node in network.nodes():
+                node.scratch[_ACTIVE_KEY] = bool(node.items)
+                node.scratch[_SCALED_KEY] = list(node.items)
+
+            stages_total = max(1, math.ceil(math.log2(1.0 / self.beta)))
+            q0 = max(1.0, math.log2(1.0 / self.beta)) / self.epsilon
+            count_repetitions = self.policy.count_repetitions(q0)
+
+            # Line 1: approximate total count and initial target rank.
+            n_estimate = self._rep_count.run(network, count_repetitions).value
+            if n_estimate <= 0:
+                raise EmptyNetworkError("approximate count returned zero items")
+            k = n_estimate / 2.0
+
+            # Root-side affine map: original ≈ offset + (scaled − domain_lo) · scale.
+            offset = 0.0
+            scale = 1.0
+            domain_lo = 0.0
+
+            stage_epsilon = min(
+                0.5, self.epsilon / (2.0 * max(1.0, math.log2(1.0 / self.beta)))
+            )
+            stage_records: list[ZoomStage] = []
+
+            for stage in range(1, stages_total + 1):
+                # Line 3.1: approximate k-order statistic on the length domain.
+                apx_os = ApproximateOrderStatisticProtocol(
+                    epsilon=stage_epsilon,
+                    quantile=None,
+                    k=max(1.0, k),
+                    num_registers=self.num_registers,
+                    repetition_policy=self.policy,
+                    sketch=self.sketch,
+                    view=self._active_length_view,
+                    domain_max=_log_length(domain_max),
+                    seed=self._counter._rng,
+                )
+                mu_hat = max(0, int(apx_os.run(network).value.value))
+
+                # Line 3.4 (done before deactivation so it counts over X^(j)):
+                # how many currently-active items fall below the selected
+                # dyadic interval.  The predicate is described by the exponent
+                # alone, keeping the message polyloglog-sized.
+                below_predicate = PowerThresholdPredicate(exponent=mu_hat, offset=-1)
+                below_estimate = self._rep_count.run(
+                    network, count_repetitions, predicate=below_predicate
+                ).value
+
+                # Selected interval in the current scaled domain (with the +1
+                # shift of the length transform).
+                interval_low = (1 << mu_hat) - 1
+                interval_width = 1 << mu_hat
+
+                # Line 3.1 (broadcast) + Lines 3.2/3.3: nodes learn μ̂ and
+                # locally deactivate or rescale.
+                broadcast(
+                    network,
+                    {"query": "APX_MEDIAN2_ZOOM", "mu_hat": mu_hat, "stage": stage},
+                    varint_bits(mu_hat) + 4,
+                    protocol="APX_MEDIAN2",
+                )
+                scale_num = domain_max - 1
+                scale_den = max(1, interval_width - 1)
+                for node in network.nodes():
+                    if not node.scratch.get(_ACTIVE_KEY, False):
+                        continue
+                    surviving: list[int] = []
+                    for value in node.scratch[_SCALED_KEY]:
+                        if interval_low <= value < interval_low + interval_width:
+                            if interval_width == 1:
+                                surviving.append(1)
+                            else:
+                                rescaled = 1 + (
+                                    (value - interval_low) * scale_num
+                                ) // scale_den
+                                surviving.append(int(rescaled))
+                    if surviving:
+                        node.scratch[_SCALED_KEY] = surviving
+                    else:
+                        node.scratch[_ACTIVE_KEY] = False
+                        node.scratch[_SCALED_KEY] = []
+
+                # Root-side affine update mirroring the node-local rescaling.
+                offset = offset + (interval_low - domain_lo) * scale
+                if interval_width > 1:
+                    scale = scale * (interval_width - 1) / max(1, domain_max - 1)
+                domain_lo = 1.0
+
+                # Line 3.4: adjust the target rank.
+                k = max(1.0, k - below_estimate)
+
+                active_estimate = self._rep_count.run(network, 1).value
+                stage_records.append(
+                    ZoomStage(
+                        stage=stage,
+                        mu_hat=mu_hat,
+                        k=k,
+                        interval_low_scaled=interval_low,
+                        interval_width_scaled=interval_width,
+                        original_low=offset,
+                        original_scale=scale,
+                        active_estimate=active_estimate,
+                    )
+                )
+                if interval_width == 1:
+                    break  # The interval is a single value; no further precision to gain.
+                if active_estimate <= 0:
+                    # Estimation noise selected an interval that turned out to
+                    # be empty; the current offset is still within the already
+                    # achieved precision, so stop zooming rather than querying
+                    # an empty active set.
+                    break
+
+            value = int(round(offset))
+            value = max(0, min(domain_max, value))
+            alpha_guarantee = 3.0 * self.sigma * max(1.0, math.log2(1.0 / self.beta))
+            outcome = PolyloglogOutcome(
+                value=value,
+                n_estimate=n_estimate,
+                stages=stage_records,
+                beta=self.beta,
+                epsilon=self.epsilon,
+                alpha_guarantee=alpha_guarantee,
+            )
+        # Leave the scratch state clean for the next protocol.
+        network.reset_scratch()
+        return metered.result(outcome)

@@ -1,0 +1,129 @@
+"""Reference definitions from Section 2.3 of the paper.
+
+These are *centralised* (non-distributed) functions.  They exist so the
+distributed protocols can be verified: every test compares a protocol's output
+against :func:`reference_median` / :func:`reference_order_statistic`, or checks
+the (α, β) conditions with :func:`is_approximate_order_statistic`.
+
+Notation (Notation 2.2): for a multiset X and a number y,
+
+    ℓ_X(y) = |{ x ∈ X : x < y }|
+
+Definition 2.3: y is a k-order statistic of X iff ℓ(y) < k and ℓ(y + 1) ≥ k.
+The median is the N/2-order statistic.
+
+Definition 2.4: y is a k (α, β)-order statistic iff there exists y' with
+ℓ(y') < k(1 + α), ℓ(y' + 1) ≥ k(1 − α), and |y − y'| ≤ β · max(X).
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_left
+from typing import Sequence
+
+from repro.exceptions import ConfigurationError, EmptyNetworkError
+
+
+def rank(items: Sequence[int], threshold: float) -> int:
+    """The rank function ℓ_X(y): number of items strictly smaller than ``threshold``."""
+    ordered = sorted(items)
+    return bisect_left(ordered, threshold)
+
+
+def is_order_statistic(items: Sequence[int], k: float, candidate: float) -> bool:
+    """Check Definition 2.3: ℓ(y) < k and ℓ(y + 1) ≥ k."""
+    if not items:
+        raise EmptyNetworkError("order statistics of an empty multiset are undefined")
+    return rank(items, candidate) < k and rank(items, candidate + 1) >= k
+
+
+def is_median(items: Sequence[int], candidate: float) -> bool:
+    """Check whether ``candidate`` is a median (the N/2-order statistic)."""
+    return is_order_statistic(items, len(items) / 2.0, candidate)
+
+
+def reference_order_statistic(items: Sequence[int], k: float) -> int:
+    """Return the smallest integer k-order statistic of ``items``.
+
+    For ``k`` in ``(0, N]`` a valid order statistic always exists among the
+    item values themselves: it is the ``ceil(k)``-th smallest item.
+    """
+    if not items:
+        raise EmptyNetworkError("order statistics of an empty multiset are undefined")
+    if k <= 0 or k > len(items):
+        raise ConfigurationError(
+            f"k must lie in (0, {len(items)}], got {k}"
+        )
+    ordered = sorted(items)
+    index = max(0, math.ceil(k) - 1)
+    return ordered[index]
+
+
+def reference_median(items: Sequence[int]) -> int:
+    """The paper's median: the N/2-order statistic (lower median for even N)."""
+    return reference_order_statistic(items, len(items) / 2.0)
+
+
+def approximate_order_statistic_interval(
+    items: Sequence[int], k: float, alpha: float
+) -> tuple[float, float]:
+    """Return the closed interval of values y' satisfying Definition 2.4's rank test.
+
+    A number y' satisfies ℓ(y') < k(1 + α) and ℓ(y' + 1) ≥ k(1 − α).  Because
+    ℓ is non-decreasing, the admissible set is an interval ``[low, high]``:
+
+    * ``low`` is the smallest value with at least ``k(1 − α)`` items strictly
+      below ``low + 1`` — i.e. the ``ceil(k(1 − α))``-th smallest item (or
+      ``-inf`` when ``k(1 − α) ≤ 0``);
+    * ``high`` is the largest value with fewer than ``k(1 + α)`` items strictly
+      below it — i.e. the ``floor-above`` item at position ``ceil(k(1 + α))``
+      (or ``+inf`` when ``k(1 + α) > N``).
+    """
+    if not items:
+        raise EmptyNetworkError("order statistics of an empty multiset are undefined")
+    ordered = sorted(items)
+    n = len(ordered)
+    lower_rank = k * (1.0 - alpha)
+    upper_rank = k * (1.0 + alpha)
+
+    if lower_rank <= 0:
+        low: float = float("-inf")
+    else:
+        index = min(n - 1, max(0, math.ceil(lower_rank) - 1))
+        low = float(ordered[index])
+
+    if upper_rank > n:
+        high: float = float("inf")
+    else:
+        # The first item whose strict-below count reaches k(1+α) caps the
+        # interval: any y' at or below that item still has ℓ(y') < k(1+α).
+        index = min(n - 1, max(0, math.ceil(upper_rank) - 1))
+        high = float(ordered[index])
+    return low, high
+
+
+def is_approximate_order_statistic(
+    items: Sequence[int],
+    k: float,
+    candidate: float,
+    alpha: float,
+    beta: float,
+) -> bool:
+    """Check Definition 2.4 for ``candidate`` as a k (α, β)-order statistic."""
+    if not items:
+        raise EmptyNetworkError("order statistics of an empty multiset are undefined")
+    if alpha < 0 or beta < 0:
+        raise ConfigurationError("alpha and beta must be non-negative")
+    low, high = approximate_order_statistic_interval(items, k, alpha)
+    slack = beta * max(items)
+    return candidate >= low - slack and candidate <= high + slack
+
+
+def is_approximate_median(
+    items: Sequence[int], candidate: float, alpha: float, beta: float
+) -> bool:
+    """Check whether ``candidate`` is an (α, β)-median (Definition 2.4 with k = N/2)."""
+    return is_approximate_order_statistic(
+        items, len(items) / 2.0, candidate, alpha, beta
+    )

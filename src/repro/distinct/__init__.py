@@ -1,0 +1,31 @@
+"""COUNT DISTINCT — Section 5 of the paper.
+
+* :mod:`repro.distinct.exact` — an exact distinct-counting protocol.  Exact
+  answers force nodes to forward (a representation of) the set of values seen
+  in their subtree, so some node communicates Ω(n) bits in the worst case —
+  the behaviour Theorem 5.1 proves unavoidable.
+* :mod:`repro.distinct.approximate` — LogLog-based approximate distinct
+  counting with O(log log n) bits per node (the contrast the paper draws).
+* :mod:`repro.distinct.disjointness` — the reduction from Two-Party Set
+  Disjointness used in the proof of Theorem 5.1, implemented as an adversarial
+  instance generator plus the reduction protocol itself, so the lower-bound
+  argument can be exercised end to end.
+"""
+
+from repro.distinct.approximate import ApproxDistinctCountProtocol
+from repro.distinct.disjointness import (
+    DisjointnessInstance,
+    make_disjoint_instance,
+    make_intersecting_instance,
+    solve_disjointness_via_count_distinct,
+)
+from repro.distinct.exact import ExactDistinctCountProtocol
+
+__all__ = [
+    "ApproxDistinctCountProtocol",
+    "DisjointnessInstance",
+    "make_disjoint_instance",
+    "make_intersecting_instance",
+    "solve_disjointness_via_count_distinct",
+    "ExactDistinctCountProtocol",
+]

@@ -1,0 +1,40 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised by the library derives from :class:`ReproError` so callers
+can catch library failures with a single ``except`` clause while still being
+able to distinguish configuration problems from protocol failures.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ConfigurationError(ReproError):
+    """Raised when a component is constructed with invalid parameters."""
+
+
+class TopologyError(ConfigurationError):
+    """Raised when a requested topology cannot be built (e.g. disconnected)."""
+
+
+class EmptyNetworkError(ReproError):
+    """Raised when a query is issued against a network holding no items."""
+
+
+class ProtocolError(ReproError):
+    """Raised when a protocol is invoked in an invalid state."""
+
+
+class PredicateError(ProtocolError):
+    """Raised when a predicate cannot be encoded or evaluated locally."""
+
+
+class DeliveryError(ProtocolError):
+    """Raised when the radio model permanently fails to deliver a message."""
+
+
+class BudgetExceededError(ReproError):
+    """Raised when a protocol exceeds an explicitly configured bit budget."""

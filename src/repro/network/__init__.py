@@ -1,0 +1,55 @@
+"""Sensor-network simulation substrate.
+
+This package provides everything the paper's protocols presuppose about the
+underlying system (Section 2.1 of the paper): a set of nodes, one of which is
+the *root*, each holding a multiset of integer items; a communication
+mechanism over which the root can initiate protocols; and an accounting layer
+that measures the *individual* communication complexity — the maximum number
+of bits transmitted plus received by any single node.
+"""
+
+from repro.network.accounting import CommunicationLedger, NodeTraffic
+from repro.network.energy import EnergyModel, EnergyReport
+from repro.network.message import Message
+from repro.network.node import SensorNode
+from repro.network.radio import (
+    DuplicatingRadio,
+    LossyRadio,
+    RadioModel,
+    ReliableRadio,
+)
+from repro.network.simulator import SensorNetwork
+from repro.network.spanning_tree import SpanningTree, bfs_tree, bounded_degree_tree
+from repro.network.topology import (
+    balanced_tree_topology,
+    grid_topology,
+    line_topology,
+    random_geometric_topology,
+    ring_topology,
+    single_hop_topology,
+    star_topology,
+)
+
+__all__ = [
+    "CommunicationLedger",
+    "NodeTraffic",
+    "EnergyModel",
+    "EnergyReport",
+    "Message",
+    "SensorNode",
+    "RadioModel",
+    "ReliableRadio",
+    "LossyRadio",
+    "DuplicatingRadio",
+    "SensorNetwork",
+    "SpanningTree",
+    "bfs_tree",
+    "bounded_degree_tree",
+    "balanced_tree_topology",
+    "grid_topology",
+    "line_topology",
+    "random_geometric_topology",
+    "ring_topology",
+    "single_hop_topology",
+    "star_topology",
+]

@@ -1,0 +1,193 @@
+"""Communication-complexity accounting.
+
+The paper's central cost measure (Section 2.1) is the *individual*
+communication complexity: the maximum, over all nodes, of the number of bits
+transmitted **and** received by that node.  :class:`CommunicationLedger`
+records every charged transmission and exposes that measure, together with
+totals, per-protocol breakdowns and message/round counts used by the
+experiment harness.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro._util.validation import require_non_negative
+from repro.exceptions import BudgetExceededError
+
+
+@dataclass
+class NodeTraffic:
+    """Per-node traffic counters."""
+
+    bits_sent: int = 0
+    bits_received: int = 0
+    messages_sent: int = 0
+    messages_received: int = 0
+
+    @property
+    def bits_total(self) -> int:
+        """Bits transmitted plus received — the paper's per-node cost."""
+        return self.bits_sent + self.bits_received
+
+    def merge(self, other: "NodeTraffic") -> None:
+        """Accumulate another traffic record into this one."""
+        self.bits_sent += other.bits_sent
+        self.bits_received += other.bits_received
+        self.messages_sent += other.messages_sent
+        self.messages_received += other.messages_received
+
+
+@dataclass
+class LedgerSnapshot:
+    """Immutable summary of a ledger at one point in time."""
+
+    per_node_bits: dict[int, int]
+    total_bits: int
+    max_node_bits: int
+    messages: int
+    rounds: int
+    per_protocol_bits: dict[str, int] = field(default_factory=dict)
+
+
+class CommunicationLedger:
+    """Records every bit sent or received by every node.
+
+    The ledger is deliberately independent of the network topology: protocols
+    charge transmissions explicitly via :meth:`charge`, which keeps the
+    accounting honest even for protocols that bypass the spanning tree (e.g.
+    gossip baselines).
+
+    An optional ``per_node_budget_bits`` turns the ledger into an enforcement
+    mechanism: exceeding the budget raises :class:`BudgetExceededError`, which
+    is how the test suite demonstrates the Ω(n) behaviour of exact
+    COUNT DISTINCT without actually shipping gigabytes of simulated traffic.
+    """
+
+    def __init__(self, per_node_budget_bits: int | None = None) -> None:
+        if per_node_budget_bits is not None:
+            require_non_negative(per_node_budget_bits, "per_node_budget_bits")
+        self._per_node: dict[int, NodeTraffic] = defaultdict(NodeTraffic)
+        self._per_protocol_bits: dict[str, int] = defaultdict(int)
+        self._messages = 0
+        self._rounds = 0
+        self._budget = per_node_budget_bits
+
+    # ------------------------------------------------------------------ #
+    # Charging
+    # ------------------------------------------------------------------ #
+    def charge(
+        self,
+        sender: int,
+        receiver: int,
+        size_bits: int,
+        protocol: str = "unknown",
+    ) -> None:
+        """Charge a single transmission of ``size_bits`` from sender to receiver."""
+        require_non_negative(size_bits, "size_bits")
+        sender_traffic = self._per_node[sender]
+        receiver_traffic = self._per_node[receiver]
+        sender_traffic.bits_sent += size_bits
+        sender_traffic.messages_sent += 1
+        receiver_traffic.bits_received += size_bits
+        receiver_traffic.messages_received += 1
+        self._per_protocol_bits[protocol] += size_bits
+        self._messages += 1
+        if self._budget is not None:
+            for node_id, traffic in ((sender, sender_traffic), (receiver, receiver_traffic)):
+                if traffic.bits_total > self._budget:
+                    raise BudgetExceededError(
+                        f"node {node_id} exceeded per-node budget of "
+                        f"{self._budget} bits ({traffic.bits_total} bits used)"
+                    )
+
+    def charge_local(self, node: int, size_bits: int, protocol: str = "local") -> None:
+        """Charge bits that a node stores/processes locally without transmitting.
+
+        Not part of the communication-complexity measure; tracked only so the
+        space-oriented experiments can report it.
+        """
+        require_non_negative(size_bits, "size_bits")
+        self._per_protocol_bits[f"{protocol}:local"] += size_bits
+
+    def advance_round(self, count: int = 1) -> None:
+        """Record ``count`` additional synchronous communication rounds."""
+        require_non_negative(count, "count")
+        self._rounds += count
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    def traffic(self, node: int) -> NodeTraffic:
+        """Return the traffic record for ``node`` (zeros if it never communicated)."""
+        return self._per_node[node]
+
+    def node_bits(self, node: int) -> int:
+        """Bits sent plus received by ``node``."""
+        return self._per_node[node].bits_total
+
+    @property
+    def max_node_bits(self) -> int:
+        """The paper's communication-complexity measure: max over nodes."""
+        if not self._per_node:
+            return 0
+        return max(traffic.bits_total for traffic in self._per_node.values())
+
+    @property
+    def total_bits(self) -> int:
+        """Total bits transmitted across the whole network (each bit counted once)."""
+        return sum(traffic.bits_sent for traffic in self._per_node.values())
+
+    @property
+    def total_messages(self) -> int:
+        return self._messages
+
+    @property
+    def rounds(self) -> int:
+        return self._rounds
+
+    def per_protocol_bits(self) -> dict[str, int]:
+        """Total bits broken down by the protocol label passed to :meth:`charge`."""
+        return dict(self._per_protocol_bits)
+
+    def nodes(self) -> Iterator[int]:
+        """Iterate over node ids that have sent or received at least one message."""
+        return iter(self._per_node.keys())
+
+    def snapshot(self) -> LedgerSnapshot:
+        """Return an immutable summary of the current counters."""
+        return LedgerSnapshot(
+            per_node_bits={
+                node: traffic.bits_total for node, traffic in self._per_node.items()
+            },
+            total_bits=self.total_bits,
+            max_node_bits=self.max_node_bits,
+            messages=self._messages,
+            rounds=self._rounds,
+            per_protocol_bits=dict(self._per_protocol_bits),
+        )
+
+    def reset(self) -> None:
+        """Clear all counters (budget configuration is retained)."""
+        self._per_node.clear()
+        self._per_protocol_bits.clear()
+        self._messages = 0
+        self._rounds = 0
+
+    def merge(self, other: "CommunicationLedger") -> None:
+        """Accumulate the counters of another ledger into this one."""
+        for node, traffic in other._per_node.items():
+            self._per_node[node].merge(traffic)
+        for protocol, bits in other._per_protocol_bits.items():
+            self._per_protocol_bits[protocol] += bits
+        self._messages += other._messages
+        self._rounds += other._rounds
+
+    def __repr__(self) -> str:  # pragma: no cover - debug convenience
+        return (
+            f"CommunicationLedger(max_node_bits={self.max_node_bits}, "
+            f"total_bits={self.total_bits}, messages={self._messages}, "
+            f"rounds={self._rounds})"
+        )

@@ -1,0 +1,114 @@
+"""Radio (link-layer) models.
+
+The paper abstracts the communication mechanism away entirely, but follow-up
+work it cites (Considine et al., Nath et al.) is motivated by lossy and
+duplicating links.  The simulator therefore exposes a pluggable link model:
+
+``ReliableRadio``
+    Every transmission is delivered exactly once (the paper's implicit model).
+
+``LossyRadio``
+    Each transmission is independently lost with probability ``loss_rate``.
+    Tree protocols retransmit up to ``max_retries`` times; every attempt is
+    charged to the ledger, so unreliable links inflate the measured
+    communication complexity exactly as they would inflate energy use.
+
+``DuplicatingRadio``
+    Each transmission is delivered, and with probability ``duplicate_rate`` it
+    is delivered twice.  Order-and-duplicate-insensitive sketches (LogLog and
+    friends) are unaffected; naive SUM/COUNT aggregation is not, which the
+    robustness tests demonstrate.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+from repro._util.randomness import make_rng
+from repro._util.validation import require_non_negative, require_probability
+from repro.exceptions import DeliveryError
+
+
+@dataclass(frozen=True)
+class DeliveryOutcome:
+    """Result of attempting one logical transmission over a link."""
+
+    attempts: int
+    copies_delivered: int
+
+    @property
+    def delivered(self) -> bool:
+        return self.copies_delivered > 0
+
+
+class RadioModel(abc.ABC):
+    """Interface for link models used by :class:`~repro.network.SensorNetwork`."""
+
+    @abc.abstractmethod
+    def transmit(self, sender: int, receiver: int) -> DeliveryOutcome:
+        """Attempt to deliver one message; return how many attempts/copies."""
+
+    def reset(self) -> None:  # pragma: no cover - default no-op
+        """Reset any internal state between experiments."""
+
+
+class ReliableRadio(RadioModel):
+    """Perfect links: one attempt, one delivered copy."""
+
+    def transmit(self, sender: int, receiver: int) -> DeliveryOutcome:
+        return DeliveryOutcome(attempts=1, copies_delivered=1)
+
+
+class LossyRadio(RadioModel):
+    """Links that drop each transmission independently with ``loss_rate``.
+
+    A logical send is retried until it succeeds or ``max_retries`` attempts
+    have been made; a permanent failure raises :class:`DeliveryError` so
+    protocols never silently compute on partial data.
+    """
+
+    def __init__(
+        self,
+        loss_rate: float,
+        seed: int | None = 0,
+        max_retries: int = 16,
+    ) -> None:
+        self.loss_rate = require_probability(loss_rate, "loss_rate")
+        if self.loss_rate >= 1.0:
+            raise DeliveryError("loss_rate of 1.0 makes delivery impossible")
+        self.max_retries = require_non_negative(max_retries, "max_retries")
+        self._seed = seed
+        self._rng = make_rng(seed)
+
+    def transmit(self, sender: int, receiver: int) -> DeliveryOutcome:
+        attempts = 0
+        while attempts <= self.max_retries:
+            attempts += 1
+            if self._rng.random() >= self.loss_rate:
+                return DeliveryOutcome(attempts=attempts, copies_delivered=1)
+        raise DeliveryError(
+            f"link {sender}->{receiver} failed after {attempts} attempts "
+            f"(loss_rate={self.loss_rate})"
+        )
+
+    def reset(self) -> None:
+        self._rng = make_rng(self._seed)
+
+
+class DuplicatingRadio(RadioModel):
+    """Links that occasionally deliver an extra copy of each message."""
+
+    def __init__(self, duplicate_rate: float, seed: int | None = 0) -> None:
+        self.duplicate_rate = require_probability(duplicate_rate, "duplicate_rate")
+        self._seed = seed
+        self._rng = make_rng(seed)
+
+    def transmit(self, sender: int, receiver: int) -> DeliveryOutcome:
+        copies = 1
+        if self._rng.random() < self.duplicate_rate:
+            copies = 2
+        return DeliveryOutcome(attempts=copies, copies_delivered=copies)
+
+    def reset(self) -> None:
+        self._rng = make_rng(self._seed)

@@ -1,0 +1,84 @@
+"""A minimal synchronous round engine.
+
+Tree protocols in this package are executed by walking the spanning tree
+directly (the number of rounds they need is just the tree height, which the
+protocols record on the ledger).  Protocols that are *not* tree-shaped — the
+gossip baseline, and the robustness experiments with lossy links — need a
+notion of "every node acts once per round".  :class:`RoundEngine` provides
+exactly that and nothing more.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping
+
+from repro._util.validation import require_positive
+from repro.exceptions import ProtocolError
+from repro.network.simulator import SensorNetwork
+
+# A node handler receives (network, node_id, inbox) and returns a mapping of
+# destination node id -> (payload, size_bits) describing what to send next
+# round.  Sends are executed (and charged) by the engine.
+NodeHandler = Callable[
+    [SensorNetwork, int, list[object]],
+    Mapping[int, tuple[object, int]],
+]
+
+
+@dataclass
+class RoundEngineResult:
+    """Outcome of a round-engine execution."""
+
+    rounds_executed: int
+    converged: bool
+
+
+class RoundEngine:
+    """Run a per-node handler for a number of synchronous rounds."""
+
+    def __init__(self, network: SensorNetwork, protocol_name: str = "round-engine") -> None:
+        self.network = network
+        self.protocol_name = protocol_name
+
+    def run(
+        self,
+        handler: NodeHandler,
+        max_rounds: int,
+        stop_condition: Callable[[SensorNetwork, int], bool] | None = None,
+    ) -> RoundEngineResult:
+        """Execute up to ``max_rounds`` synchronous rounds of ``handler``.
+
+        ``stop_condition(network, round_index)`` is evaluated after each round;
+        returning ``True`` ends the run early (convergence).
+        """
+        require_positive(max_rounds, "max_rounds")
+        inboxes: dict[int, list[object]] = {
+            node_id: [] for node_id in self.network.node_ids()
+        }
+        for round_index in range(max_rounds):
+            outgoing: list[tuple[int, int, object, int]] = []
+            for node_id in self.network.node_ids():
+                sends = handler(self.network, node_id, inboxes[node_id])
+                inboxes[node_id] = []
+                for destination, (payload, size_bits) in sends.items():
+                    if destination == node_id:
+                        raise ProtocolError(
+                            f"node {node_id} attempted to message itself"
+                        )
+                    outgoing.append((node_id, destination, payload, size_bits))
+            for sender, receiver, payload, size_bits in outgoing:
+                message = self.network.send(
+                    sender,
+                    receiver,
+                    payload,
+                    size_bits,
+                    protocol=self.protocol_name,
+                )
+                copies = message.metadata.get("copies_delivered", 1)
+                for _ in range(copies):
+                    inboxes[receiver].append(payload)
+            self.network.ledger.advance_round()
+            if stop_condition is not None and stop_condition(self.network, round_index):
+                return RoundEngineResult(rounds_executed=round_index + 1, converged=True)
+        return RoundEngineResult(rounds_executed=max_rounds, converged=False)

@@ -1,0 +1,264 @@
+"""The sensor-network simulator.
+
+:class:`SensorNetwork` ties together a topology, the sensor nodes with their
+input items, a rooted spanning tree, a radio model and the communication
+ledger.  Protocols interact with the network exclusively through
+
+* :meth:`send` — transmit a payload of an explicitly declared size over a
+  graph edge (charged to the ledger, filtered through the radio model), and
+* the node objects — for *local* computation only.
+
+This mirrors the paper's model (Section 2.1): the root can only initiate
+protocols and read back results; all costs are incurred edge by edge.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, Sequence
+
+import networkx as nx
+
+from repro._util.validation import require_non_negative
+from repro.exceptions import ConfigurationError, EmptyNetworkError, TopologyError
+from repro.network.accounting import CommunicationLedger, LedgerSnapshot
+from repro.network.message import Message
+from repro.network.node import SensorNode
+from repro.network.radio import RadioModel, ReliableRadio
+from repro.network.spanning_tree import SpanningTree, bfs_tree, bounded_degree_tree
+from repro.network.topology import build_topology
+
+
+class SensorNetwork:
+    """A simulated sensor network holding integer items at each node."""
+
+    def __init__(
+        self,
+        graph: nx.Graph,
+        root: int = 0,
+        radio: RadioModel | None = None,
+        tree: SpanningTree | None = None,
+        degree_bound: int | None = 3,
+        ledger: CommunicationLedger | None = None,
+    ) -> None:
+        if root not in graph:
+            raise TopologyError(f"root {root} is not a node of the graph")
+        if graph.number_of_nodes() > 1 and not nx.is_connected(graph):
+            raise TopologyError("sensor network graph must be connected")
+        self.graph = graph
+        self.root_id = root
+        self.radio = radio if radio is not None else ReliableRadio()
+        self.ledger = ledger if ledger is not None else CommunicationLedger()
+        self._nodes: dict[int, SensorNode] = {
+            node_id: SensorNode(node_id=node_id, is_root=(node_id == root))
+            for node_id in graph.nodes()
+        }
+        self.degree_bound = degree_bound
+        if tree is not None:
+            tree.validate(graph)
+            self.tree = tree
+        else:
+            self.tree = self._build_tree()
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_items(
+        cls,
+        items: Sequence[int],
+        topology: str | nx.Graph = "grid",
+        root: int = 0,
+        radio: RadioModel | None = None,
+        degree_bound: int | None = 3,
+        seed: int | None = 0,
+    ) -> "SensorNetwork":
+        """Build a network with one item per node.
+
+        ``topology`` is either a prebuilt graph with exactly ``len(items)``
+        nodes or the name of a generator from
+        :mod:`repro.network.topology`.
+        """
+        if len(items) == 0:
+            raise EmptyNetworkError("cannot build a network from zero items")
+        if isinstance(topology, nx.Graph):
+            graph = topology
+        else:
+            graph = build_topology(topology, len(items), seed=seed)
+        if graph.number_of_nodes() < len(items):
+            raise ConfigurationError(
+                f"topology has {graph.number_of_nodes()} nodes but "
+                f"{len(items)} items were supplied"
+            )
+        network = cls(
+            graph, root=root, radio=radio, degree_bound=degree_bound
+        )
+        node_ids = sorted(graph.nodes())
+        for node_id, value in zip(node_ids, items):
+            network._nodes[node_id].add_item(value)
+        return network
+
+    def _build_tree(self) -> SpanningTree:
+        if self.degree_bound is None:
+            return bfs_tree(self.graph, self.root_id)
+        return bounded_degree_tree(
+            self.graph, self.root_id, max_degree=self.degree_bound
+        )
+
+    _UNSET = object()
+
+    def rebuild_tree(self, degree_bound: object = _UNSET) -> SpanningTree:
+        """Rebuild the spanning tree, optionally changing the degree bound.
+
+        Pass ``degree_bound=None`` explicitly to switch to an unbounded BFS
+        tree; omit the argument to keep the current bound.
+        """
+        if degree_bound is not SensorNetwork._UNSET:
+            self.degree_bound = degree_bound  # type: ignore[assignment]
+        self.tree = self._build_tree()
+        return self.tree
+
+    # ------------------------------------------------------------------ #
+    # Node / item access
+    # ------------------------------------------------------------------ #
+    @property
+    def num_nodes(self) -> int:
+        return self.graph.number_of_nodes()
+
+    @property
+    def root(self) -> SensorNode:
+        return self._nodes[self.root_id]
+
+    def node(self, node_id: int) -> SensorNode:
+        try:
+            return self._nodes[node_id]
+        except KeyError:
+            raise ConfigurationError(f"unknown node id {node_id}") from None
+
+    def nodes(self) -> Iterator[SensorNode]:
+        """Iterate over nodes in id order."""
+        for node_id in sorted(self._nodes):
+            yield self._nodes[node_id]
+
+    def node_ids(self) -> list[int]:
+        return sorted(self._nodes)
+
+    def assign_items(self, per_node_items: dict[int, Iterable[int]]) -> None:
+        """Replace the items of the listed nodes (others keep theirs)."""
+        for node_id, values in per_node_items.items():
+            node = self.node(node_id)
+            node.clear_items()
+            node.add_items(values)
+
+    def clear_items(self) -> None:
+        """Remove every item from every node."""
+        for node in self._nodes.values():
+            node.clear_items()
+
+    def all_items(self) -> list[int]:
+        """Ground-truth multiset of all items, for verification only.
+
+        Protocols must never call this — it bypasses the communication model.
+        The test-suite and the experiment harness use it to check protocol
+        outputs against the true answer.
+        """
+        items: list[int] = []
+        for node in self.nodes():
+            items.extend(node.items)
+        return items
+
+    def total_items(self) -> int:
+        """Ground-truth value of N = |X| (verification only)."""
+        return sum(node.item_count for node in self._nodes.values())
+
+    def max_item(self) -> int:
+        """Ground-truth max(X) (verification only)."""
+        items = self.all_items()
+        if not items:
+            raise EmptyNetworkError("network holds no items")
+        return max(items)
+
+    def reset_scratch(self) -> None:
+        """Clear per-protocol scratch state on every node."""
+        for node in self._nodes.values():
+            node.reset_scratch()
+
+    # ------------------------------------------------------------------ #
+    # Communication
+    # ------------------------------------------------------------------ #
+    def send(
+        self,
+        sender: int,
+        receiver: int,
+        payload: object,
+        size_bits: int,
+        protocol: str = "unknown",
+        require_edge: bool = True,
+    ) -> Message:
+        """Transmit ``payload`` from ``sender`` to ``receiver``.
+
+        The transmission is filtered through the radio model (which may retry
+        or duplicate it); every attempt is charged to the ledger.  The
+        delivered :class:`Message` is returned so the caller can hand it to the
+        receiving node's logic.
+        """
+        require_non_negative(size_bits, "size_bits")
+        if sender not in self._nodes or receiver not in self._nodes:
+            raise ConfigurationError(
+                f"send between unknown nodes {sender} -> {receiver}"
+            )
+        if require_edge and not self.graph.has_edge(sender, receiver):
+            raise TopologyError(
+                f"nodes {sender} and {receiver} are not neighbours; "
+                "multi-hop delivery must be routed explicitly"
+            )
+        outcome = self.radio.transmit(sender, receiver)
+        charged_attempts = max(outcome.attempts, outcome.copies_delivered)
+        for _ in range(charged_attempts):
+            self.ledger.charge(sender, receiver, size_bits, protocol=protocol)
+        message = Message(
+            sender=sender,
+            receiver=receiver,
+            payload=payload,
+            size_bits=size_bits,
+            protocol=protocol,
+            metadata={"copies_delivered": outcome.copies_delivered},
+        )
+        return message
+
+    def send_up(
+        self, node_id: int, payload: object, size_bits: int, protocol: str = "unknown"
+    ) -> Message | None:
+        """Send from ``node_id`` to its tree parent (``None`` at the root)."""
+        parent = self.tree.parent[node_id]
+        if parent is None:
+            return None
+        return self.send(node_id, parent, payload, size_bits, protocol=protocol)
+
+    def send_down(
+        self, node_id: int, payload: object, size_bits: int, protocol: str = "unknown"
+    ) -> list[Message]:
+        """Send the same payload from ``node_id`` to each of its tree children."""
+        return [
+            self.send(node_id, child, payload, size_bits, protocol=protocol)
+            for child in self.tree.children[node_id]
+        ]
+
+    # ------------------------------------------------------------------ #
+    # Measurement helpers
+    # ------------------------------------------------------------------ #
+    def reset_ledger(self) -> None:
+        """Clear the communication counters (items and tree are preserved)."""
+        self.ledger.reset()
+        self.radio.reset()
+
+    def measure(self, run: Callable[["SensorNetwork"], object]) -> tuple[object, "LedgerSnapshot"]:
+        """Run a protocol callable against a fresh ledger and return (result, snapshot)."""
+        self.reset_ledger()
+        result = run(self)
+        return result, self.ledger.snapshot()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug convenience
+        return (
+            f"SensorNetwork(nodes={self.num_nodes}, root={self.root_id}, "
+            f"items={self.total_items()}, tree_height={self.tree.height})"
+        )

@@ -1,0 +1,217 @@
+"""Spanning-tree construction.
+
+The TAG-style protocols of Fact 2.1 run over a spanning tree rooted at the
+query node.  The paper remarks that a *bounded-degree* spanning tree is
+required to keep the individual communication complexity low (otherwise a hub
+node pays for all of its children's traffic).
+
+Two constructions are provided:
+
+``bfs_tree``
+    Plain breadth-first-search tree — minimal depth, but the degree can be as
+    large as the graph degree (think of the star topology).
+
+``bounded_degree_tree``
+    A heuristic that starts from the BFS tree and re-parents excess children
+    to nearby tree nodes with spare capacity, using only edges of the original
+    graph.  When the graph itself cannot support the requested bound (e.g. the
+    star), the construction falls back to the smallest feasible degree and
+    reports it, so experiments can quantify the cost of hub nodes (ablation
+    E9 in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+import networkx as nx
+
+from repro._util.validation import require_positive
+from repro.exceptions import TopologyError
+
+
+@dataclass
+class SpanningTree:
+    """A rooted spanning tree described by parent/children maps."""
+
+    root: int
+    parent: dict[int, int | None]
+    children: dict[int, list[int]]
+    depth: dict[int, int]
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.parent)
+
+    @property
+    def height(self) -> int:
+        """Maximum depth of any node (root has depth 0)."""
+        return max(self.depth.values()) if self.depth else 0
+
+    def max_degree(self) -> int:
+        """Maximum tree degree (children count plus one for the parent edge)."""
+        best = 0
+        for node, kids in self.children.items():
+            degree = len(kids) + (0 if self.parent[node] is None else 1)
+            best = max(best, degree)
+        return best
+
+    def nodes_bottom_up(self) -> list[int]:
+        """Nodes ordered so every node appears before its parent."""
+        return sorted(self.parent, key=lambda node: -self.depth[node])
+
+    def nodes_top_down(self) -> list[int]:
+        """Nodes ordered so every node appears after its parent."""
+        return sorted(self.parent, key=lambda node: self.depth[node])
+
+    def subtree_nodes(self, node: int) -> list[int]:
+        """All nodes in the subtree rooted at ``node`` (including it)."""
+        result = []
+        stack = [node]
+        while stack:
+            current = stack.pop()
+            result.append(current)
+            stack.extend(self.children[current])
+        return result
+
+    def path_to_root(self, node: int) -> list[int]:
+        """The node sequence from ``node`` up to (and including) the root."""
+        path = [node]
+        while self.parent[path[-1]] is not None:
+            path.append(self.parent[path[-1]])
+        return path
+
+    def validate(self, graph: nx.Graph) -> None:
+        """Check that this is a spanning tree of ``graph`` rooted at ``root``."""
+        if set(self.parent) != set(graph.nodes()):
+            raise TopologyError("tree does not span all graph nodes")
+        if self.parent[self.root] is not None:
+            raise TopologyError("root must have no parent")
+        for node, parent in self.parent.items():
+            if parent is None:
+                continue
+            if not graph.has_edge(node, parent):
+                raise TopologyError(
+                    f"tree edge ({node}, {parent}) is not an edge of the graph"
+                )
+            if node not in self.children[parent]:
+                raise TopologyError(
+                    f"child list of {parent} does not contain {node}"
+                )
+        # Reachability: following parents must reach the root from everywhere.
+        for node in self.parent:
+            seen = set()
+            current: int | None = node
+            while current is not None:
+                if current in seen:
+                    raise TopologyError("cycle detected in parent pointers")
+                seen.add(current)
+                current = self.parent[current]
+            if self.root not in seen:
+                raise TopologyError(f"node {node} cannot reach the root")
+
+
+def _tree_from_parents(root: int, parent: dict[int, int | None]) -> SpanningTree:
+    children: dict[int, list[int]] = {node: [] for node in parent}
+    for node, par in parent.items():
+        if par is not None:
+            children[par].append(node)
+    for kids in children.values():
+        kids.sort()
+    depth: dict[int, int] = {root: 0}
+    queue = deque([root])
+    while queue:
+        current = queue.popleft()
+        for child in children[current]:
+            depth[child] = depth[current] + 1
+            queue.append(child)
+    if len(depth) != len(parent):
+        raise TopologyError("parent map does not describe a connected tree")
+    return SpanningTree(root=root, parent=parent, children=children, depth=depth)
+
+
+def bfs_tree(graph: nx.Graph, root: int = 0) -> SpanningTree:
+    """Breadth-first spanning tree rooted at ``root``."""
+    if root not in graph:
+        raise TopologyError(f"root {root} is not a node of the graph")
+    if not nx.is_connected(graph):
+        raise TopologyError("cannot build a spanning tree of a disconnected graph")
+    parent: dict[int, int | None] = {root: None}
+    queue = deque([root])
+    while queue:
+        current = queue.popleft()
+        for neighbor in sorted(graph.neighbors(current)):
+            if neighbor not in parent:
+                parent[neighbor] = current
+                queue.append(neighbor)
+    return _tree_from_parents(root, parent)
+
+
+def bounded_degree_tree(
+    graph: nx.Graph, root: int = 0, max_degree: int = 3
+) -> SpanningTree:
+    """Spanning tree whose degree is heuristically capped at ``max_degree``.
+
+    Starting from the BFS tree, any node with too many children tries to hand
+    excess children over to graph-neighbours that are already in the tree, are
+    not descendants of the child being moved, and still have spare capacity.
+    The resulting tree is always a valid spanning tree; the degree bound is
+    best-effort because some graphs (e.g. the star) admit no low-degree
+    spanning tree at all.
+    """
+    require_positive(max_degree, "max_degree")
+    if max_degree < 2:
+        raise TopologyError("max_degree must be at least 2 for a rooted tree")
+    tree = bfs_tree(graph, root)
+    parent = dict(tree.parent)
+
+    def degree_of(node: int, children: dict[int, list[int]]) -> int:
+        return len(children[node]) + (0 if parent[node] is None else 1)
+
+    children = {node: list(kids) for node, kids in tree.children.items()}
+
+    def descendants(node: int) -> set[int]:
+        result = set()
+        stack = [node]
+        while stack:
+            current = stack.pop()
+            result.add(current)
+            stack.extend(children[current])
+        return result
+
+    changed = True
+    iteration_guard = 4 * graph.number_of_nodes() + 16
+    while changed and iteration_guard > 0:
+        changed = False
+        iteration_guard -= 1
+        for node in list(children):
+            while degree_of(node, children) > max_degree and children[node]:
+                moved = False
+                # Try to re-parent the deepest-listed child first so shallow
+                # structure near the root is preserved.
+                for child in sorted(children[node], reverse=True):
+                    forbidden = descendants(child)
+                    candidates = [
+                        neighbor
+                        for neighbor in sorted(graph.neighbors(child))
+                        if neighbor not in forbidden
+                        and neighbor != node
+                        and degree_of(neighbor, children) < max_degree
+                    ]
+                    if not candidates:
+                        continue
+                    new_parent = min(
+                        candidates, key=lambda cand: degree_of(cand, children)
+                    )
+                    children[node].remove(child)
+                    children[new_parent].append(child)
+                    parent[child] = new_parent
+                    moved = True
+                    changed = True
+                    break
+                if not moved:
+                    break
+    rebuilt = _tree_from_parents(root, parent)
+    rebuilt.validate(graph)
+    return rebuilt

@@ -1,0 +1,182 @@
+"""Topology generators.
+
+All generators return an undirected, connected ``networkx.Graph`` whose nodes
+are the integers ``0 .. n-1``.  By convention node ``0`` is the root (the node
+connected to the user entity in the TAG setting), although the simulator lets
+callers pick any root.
+
+The paper is agnostic about the communication structure — it only assumes the
+primitive protocols of Fact 2.1 exist — so the experiment harness runs every
+protocol over several qualitatively different topologies: the line (worst-case
+diameter), the grid and random geometric graphs (typical sensor deployments),
+the star (worst case for the individual complexity measure without a
+degree-bounded tree), the single-hop clique (the Singh–Prasanna setting), and
+balanced trees (the idealised TAG structure).
+"""
+
+from __future__ import annotations
+
+import math
+
+import networkx as nx
+
+from repro._util.randomness import make_rng
+from repro._util.validation import require_positive, require_probability
+from repro.exceptions import TopologyError
+
+
+def _relabel_consecutively(graph: nx.Graph) -> nx.Graph:
+    """Relabel nodes to 0..n-1 preserving adjacency (sorted order)."""
+    mapping = {node: index for index, node in enumerate(sorted(graph.nodes()))}
+    return nx.relabel_nodes(graph, mapping, copy=True)
+
+
+def _check_connected(graph: nx.Graph, description: str) -> nx.Graph:
+    if graph.number_of_nodes() == 0:
+        raise TopologyError(f"{description}: topology has no nodes")
+    if not nx.is_connected(graph):
+        raise TopologyError(f"{description}: topology is not connected")
+    return graph
+
+
+def line_topology(num_nodes: int) -> nx.Graph:
+    """A path 0 - 1 - ... - (n-1); maximises diameter, degree at most 2."""
+    require_positive(num_nodes, "num_nodes")
+    return _check_connected(nx.path_graph(num_nodes), "line")
+
+
+def ring_topology(num_nodes: int) -> nx.Graph:
+    """A cycle; like the line but with no leaves."""
+    require_positive(num_nodes, "num_nodes")
+    if num_nodes < 3:
+        return line_topology(num_nodes)
+    return _check_connected(nx.cycle_graph(num_nodes), "ring")
+
+
+def star_topology(num_nodes: int) -> nx.Graph:
+    """Node 0 adjacent to every other node.
+
+    The star is the stress case for the paper's *individual* complexity
+    measure: without care the centre relays traffic for everyone, which is why
+    Fact 2.1 requires a bounded-degree spanning tree.
+    """
+    require_positive(num_nodes, "num_nodes")
+    graph = nx.star_graph(num_nodes - 1)
+    return _check_connected(_relabel_consecutively(graph), "star")
+
+
+def single_hop_topology(num_nodes: int) -> nx.Graph:
+    """A clique: every node hears every other (the Singh–Prasanna model)."""
+    require_positive(num_nodes, "num_nodes")
+    return _check_connected(nx.complete_graph(num_nodes), "single-hop")
+
+
+def grid_topology(rows: int, cols: int | None = None) -> nx.Graph:
+    """A rows × cols 4-neighbour grid, the classic sensor-field layout."""
+    require_positive(rows, "rows")
+    if cols is None:
+        cols = rows
+    require_positive(cols, "cols")
+    graph = nx.grid_2d_graph(rows, cols)
+    mapping = {(r, c): r * cols + c for r in range(rows) for c in range(cols)}
+    graph = nx.relabel_nodes(graph, mapping, copy=True)
+    return _check_connected(graph, "grid")
+
+
+def balanced_tree_topology(branching: int, height: int) -> nx.Graph:
+    """A complete ``branching``-ary tree of the given height (root is node 0)."""
+    require_positive(branching, "branching")
+    if height < 0:
+        raise TopologyError(f"height must be non-negative, got {height}")
+    graph = nx.balanced_tree(branching, height)
+    return _check_connected(_relabel_consecutively(graph), "balanced tree")
+
+
+def random_geometric_topology(
+    num_nodes: int,
+    radius: float | None = None,
+    seed: int | None = 0,
+    max_attempts: int = 50,
+) -> nx.Graph:
+    """A connected random geometric graph on the unit square.
+
+    Nodes are placed uniformly at random and connected when within ``radius``.
+    When ``radius`` is omitted the critical connectivity radius
+    ``sqrt(2 * ln(n) / n)`` is used.  The generator retries (growing the radius
+    by 10% each attempt) until the graph is connected, so callers always get a
+    usable deployment.
+    """
+    require_positive(num_nodes, "num_nodes")
+    if num_nodes == 1:
+        return nx.empty_graph(1)
+    rng = make_rng(seed)
+    if radius is None:
+        radius = math.sqrt(2.0 * math.log(num_nodes) / num_nodes)
+    if radius <= 0:
+        raise TopologyError(f"radius must be positive, got {radius}")
+    current_radius = radius
+    for _ in range(max_attempts):
+        graph = nx.random_geometric_graph(
+            num_nodes, current_radius, seed=rng.getrandbits(32)
+        )
+        if nx.is_connected(graph):
+            return graph
+        current_radius *= 1.1
+    raise TopologyError(
+        f"could not build a connected random geometric graph with "
+        f"{num_nodes} nodes after {max_attempts} attempts"
+    )
+
+
+def random_tree_topology(num_nodes: int, seed: int | None = 0) -> nx.Graph:
+    """A uniformly random labelled tree (Prüfer sequence)."""
+    require_positive(num_nodes, "num_nodes")
+    if num_nodes <= 2:
+        return line_topology(num_nodes)
+    rng = make_rng(seed)
+    prufer = [rng.randrange(num_nodes) for _ in range(num_nodes - 2)]
+    graph = nx.from_prufer_sequence(prufer)
+    return _check_connected(graph, "random tree")
+
+
+def erdos_renyi_topology(
+    num_nodes: int, edge_probability: float, seed: int | None = 0, max_attempts: int = 50
+) -> nx.Graph:
+    """A connected Erdős–Rényi graph (used by the gossip baselines)."""
+    require_positive(num_nodes, "num_nodes")
+    require_probability(edge_probability, "edge_probability")
+    rng = make_rng(seed)
+    probability = edge_probability
+    for _ in range(max_attempts):
+        graph = nx.gnp_random_graph(num_nodes, probability, seed=rng.getrandbits(32))
+        if num_nodes == 1 or nx.is_connected(graph):
+            return graph
+        probability = min(1.0, probability * 1.2)
+    raise TopologyError(
+        f"could not build a connected G(n, p) graph with n={num_nodes} "
+        f"after {max_attempts} attempts"
+    )
+
+
+TOPOLOGY_BUILDERS = {
+    "line": line_topology,
+    "ring": ring_topology,
+    "star": star_topology,
+    "single_hop": single_hop_topology,
+    "grid": lambda n: grid_topology(max(1, int(round(math.sqrt(n))))),
+    "random_geometric": random_geometric_topology,
+    "random_tree": random_tree_topology,
+}
+"""Name → builder map used by the experiment harness; grid builds ~n nodes."""
+
+
+def build_topology(name: str, num_nodes: int, seed: int | None = 0) -> nx.Graph:
+    """Build a named topology with (approximately) ``num_nodes`` nodes."""
+    if name not in TOPOLOGY_BUILDERS:
+        raise TopologyError(
+            f"unknown topology {name!r}; known: {sorted(TOPOLOGY_BUILDERS)}"
+        )
+    builder = TOPOLOGY_BUILDERS[name]
+    if name in ("random_geometric", "random_tree"):
+        return builder(num_nodes, seed=seed)
+    return builder(num_nodes)

@@ -1,0 +1,175 @@
+"""TAG-style tree aggregates: MIN, MAX, COUNT, SUM, AVERAGE.
+
+These are the aggregates the TAG paper identifies as efficiently computable on
+a spanning tree, and the paper's Fact 2.1: communication complexity
+``O(log N)`` bits per node, space ``O(log N)``, constant processing per item.
+
+Every protocol follows the same two-phase structure:
+
+1. a tiny broadcast announcing the query (a constant-size opcode), and
+2. a convergecast of partial aggregates whose wire size is one value
+   (``O(log N)`` bits since values are polynomial in N).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro._util.bits import fixed_width_bits, varint_bits
+from repro.exceptions import EmptyNetworkError
+from repro.network.node import SensorNode
+from repro.network.simulator import SensorNetwork
+from repro.protocols.base import ItemView, MeteredRun, ProtocolResult, raw_items
+from repro.protocols.broadcast import broadcast
+from repro.protocols.convergecast import convergecast
+
+# Size of the query-announcement broadcast: an opcode identifying the
+# aggregate.  Constant, as in Fact 2.1.
+_REQUEST_BITS = 4
+
+
+def _value_size(domain_max: int | None) -> Callable[[int | None], int]:
+    """Wire size of one partial aggregate value."""
+
+    def size(value: int | None) -> int:
+        if value is None:
+            return 1  # an explicit "no data" marker
+        if domain_max is not None:
+            return fixed_width_bits(domain_max) + 1
+        return varint_bits(int(value)) + 1
+
+    return size
+
+
+class _ExtremumProtocol:
+    """Shared implementation of MIN and MAX."""
+
+    def __init__(
+        self,
+        pick: Callable[[int, int], int],
+        name: str,
+        domain_max: int | None = None,
+        view: ItemView = raw_items,
+    ) -> None:
+        self._pick = pick
+        self._name = name
+        self._domain_max = domain_max
+        self._view = view
+
+    def run(self, network: SensorNetwork) -> ProtocolResult:
+        with MeteredRun(network) as metered:
+            broadcast(network, {"query": self._name}, _REQUEST_BITS, protocol=self._name)
+
+            def local(node: SensorNode) -> int | None:
+                values = list(self._view(node))
+                if not values:
+                    return None
+                result = values[0]
+                for value in values[1:]:
+                    result = self._pick(result, value)
+                return result
+
+            def combine(a: int | None, b: int | None) -> int | None:
+                if a is None:
+                    return b
+                if b is None:
+                    return a
+                return self._pick(a, b)
+
+            answer = convergecast(
+                network,
+                local,
+                combine,
+                _value_size(self._domain_max),
+                protocol=self._name,
+            )
+            if answer is None:
+                raise EmptyNetworkError(
+                    f"{self._name}: no node holds any item matching the view"
+                )
+        return metered.result(answer)
+
+
+class MinProtocol(_ExtremumProtocol):
+    """Compute min(X) over the tree (Fact 2.1)."""
+
+    def __init__(self, domain_max: int | None = None, view: ItemView = raw_items) -> None:
+        super().__init__(min, "MIN", domain_max=domain_max, view=view)
+
+
+class MaxProtocol(_ExtremumProtocol):
+    """Compute max(X) over the tree (Fact 2.1)."""
+
+    def __init__(self, domain_max: int | None = None, view: ItemView = raw_items) -> None:
+        super().__init__(max, "MAX", domain_max=domain_max, view=view)
+
+
+class CountProtocol:
+    """Compute |X| (with multiplicities) over the tree (Fact 2.1)."""
+
+    def __init__(self, view: ItemView = raw_items) -> None:
+        self._view = view
+
+    def run(self, network: SensorNetwork) -> ProtocolResult:
+        with MeteredRun(network) as metered:
+            broadcast(network, {"query": "COUNT"}, _REQUEST_BITS, protocol="COUNT")
+            answer = convergecast(
+                network,
+                lambda node: len(list(self._view(node))),
+                lambda a, b: a + b,
+                lambda value: varint_bits(int(value)),
+                protocol="COUNT",
+            )
+        return metered.result(answer)
+
+
+class SumProtocol:
+    """Compute the sum of all items over the tree (Fact 2.1)."""
+
+    def __init__(self, view: ItemView = raw_items) -> None:
+        self._view = view
+
+    def run(self, network: SensorNetwork) -> ProtocolResult:
+        with MeteredRun(network) as metered:
+            broadcast(network, {"query": "SUM"}, _REQUEST_BITS, protocol="SUM")
+            answer = convergecast(
+                network,
+                lambda node: sum(self._view(node)),
+                lambda a, b: a + b,
+                lambda value: varint_bits(int(value)),
+                protocol="SUM",
+            )
+        return metered.result(answer)
+
+
+class AverageProtocol:
+    """Compute the mean of all items (as a float) over the tree (Fact 2.1).
+
+    Partial aggregates are (sum, count) pairs, as in TAG.
+    """
+
+    def __init__(self, view: ItemView = raw_items) -> None:
+        self._view = view
+
+    def run(self, network: SensorNetwork) -> ProtocolResult:
+        with MeteredRun(network) as metered:
+            broadcast(network, {"query": "AVG"}, _REQUEST_BITS, protocol="AVG")
+
+            def local(node: SensorNode) -> tuple[int, int]:
+                values = list(self._view(node))
+                return sum(values), len(values)
+
+            def combine(a: tuple[int, int], b: tuple[int, int]) -> tuple[int, int]:
+                return a[0] + b[0], a[1] + b[1]
+
+            total, count = convergecast(
+                network,
+                local,
+                combine,
+                lambda pair: varint_bits(int(pair[0])) + varint_bits(int(pair[1])),
+                protocol="AVG",
+            )
+            if count == 0:
+                raise EmptyNetworkError("AVERAGE: the network holds no items")
+            answer = total / count
+        return metered.result(answer)

@@ -1,0 +1,75 @@
+"""Common protocol plumbing.
+
+A protocol in this package is an object with a ``run(network)`` method that
+returns a :class:`ProtocolResult`.  The result couples the answer written to
+the root's output register with the communication cost the invocation added to
+the ledger, so callers (the core algorithms and the experiment harness) never
+have to diff ledger snapshots by hand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable
+
+from repro.network.node import SensorNode
+from repro.network.simulator import SensorNetwork
+
+# A view maps a node to the list of (integer) values the protocol should
+# operate on.  The default view returns the node's raw items; the core
+# algorithms install transformed views (logarithms, rescaled values, active
+# subsets) which are computed locally and therefore cost no communication.
+ItemView = Callable[[SensorNode], Iterable[int]]
+
+
+def raw_items(node: SensorNode) -> list[int]:
+    """The default item view: the node's own input items."""
+    return list(node.items)
+
+
+@dataclass(frozen=True)
+class ProtocolResult:
+    """Answer of one protocol invocation plus its communication cost."""
+
+    value: Any
+    max_node_bits: int
+    total_bits: int
+    messages: int
+    rounds: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debug convenience
+        return (
+            f"ProtocolResult(value={self.value!r}, max_node_bits={self.max_node_bits}, "
+            f"total_bits={self.total_bits}, messages={self.messages}, rounds={self.rounds})"
+        )
+
+
+class MeteredRun:
+    """Context manager measuring the ledger delta of one protocol invocation."""
+
+    def __init__(self, network: SensorNetwork) -> None:
+        self.network = network
+        self._before = None
+
+    def __enter__(self) -> "MeteredRun":
+        self._before = self.network.ledger.snapshot()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._after = self.network.ledger.snapshot()
+
+    def result(self, value: Any) -> ProtocolResult:
+        after = self.network.ledger.snapshot()
+        before = self._before
+        per_node_delta = {
+            node: after.per_node_bits.get(node, 0) - before.per_node_bits.get(node, 0)
+            for node in set(after.per_node_bits) | set(before.per_node_bits)
+        }
+        max_delta = max(per_node_delta.values(), default=0)
+        return ProtocolResult(
+            value=value,
+            max_node_bits=max_delta,
+            total_bits=after.total_bits - before.total_bits,
+            messages=after.messages - before.messages,
+            rounds=after.rounds - before.rounds,
+        )

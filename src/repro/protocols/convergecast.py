@@ -1,0 +1,52 @@
+"""Convergecast: leaves-to-root aggregation over the spanning tree.
+
+The TAG idea (and the paper's Fact 2.1) is that a node does not forward raw
+data; it combines its children's partial aggregates with its own local value
+and sends a single partial aggregate to its parent.  The generic traversal
+below is parameterised by
+
+* ``local_value`` — the node's own contribution (computed locally, free),
+* ``combine`` — the aggregation operator (must be associative and commutative
+  for the result to be independent of child ordering),
+* ``size_bits`` — the wire size of a partial aggregate, either a constant or
+  a callable evaluated on the value actually sent (so adaptive encodings are
+  charged faithfully).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, TypeVar
+
+from repro.network.simulator import SensorNetwork
+
+T = TypeVar("T")
+
+
+def convergecast(
+    network: SensorNetwork,
+    local_value: Callable[..., T],
+    combine: Callable[[T, T], T],
+    size_bits: int | Callable[[T], int],
+    protocol: str = "convergecast",
+) -> T:
+    """Aggregate ``local_value`` over all nodes, returning the root's total.
+
+    ``local_value`` receives the :class:`~repro.network.SensorNode`; the
+    traversal visits nodes bottom-up so every child has produced its partial
+    aggregate before its parent combines it.  The number of synchronous rounds
+    consumed equals the tree height.
+    """
+    tree = network.tree
+    partial: dict[int, T] = {}
+    for node_id in tree.nodes_bottom_up():
+        node = network.node(node_id)
+        value = local_value(node)
+        for child in tree.children[node_id]:
+            value = combine(value, partial.pop(child))
+        partial[node_id] = value
+        parent = tree.parent[node_id]
+        if parent is not None:
+            bits = size_bits(value) if callable(size_bits) else size_bits
+            network.send(node_id, parent, value, bits, protocol=protocol)
+    network.ledger.advance_round(tree.height)
+    return partial[network.root_id]

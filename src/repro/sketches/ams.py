@@ -1,0 +1,89 @@
+"""Alon–Matias–Szegedy (AMS) frequency-moment sketch.
+
+The paper cites Alon, Matias and Szegedy [1] for the space complexity of
+approximating frequency moments.  The second frequency moment F₂ (the "repeat
+rate") is the moment their tug-of-war sketch estimates; it is included here as
+part of the sketching substrate because it shares the mergeability property
+the aggregation protocols rely on, and because the self-join-size experiments
+in the extended benchmark suite use it as another example of an aggregate that
+is cheap to approximate but expensive to compute exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from statistics import median
+from typing import Iterable
+
+from repro._util.bits import bit_width
+from repro._util.validation import require_positive
+from repro.sketches.hashing import hash64
+
+
+def _sign(value: int, salt: int) -> int:
+    """Four-wise-independent-ish ±1 hash (splitmix64 based)."""
+    return 1 if hash64(value, salt=salt) & 1 else -1
+
+
+@dataclass
+class AmsF2Sketch:
+    """Tug-of-war sketch for the second frequency moment.
+
+    ``num_counters`` independent counters are grouped into ``num_groups``
+    groups; each group is averaged and the final estimate is the median of the
+    group averages (the classic median-of-means construction).
+    """
+
+    num_counters: int = 64
+    num_groups: int = 8
+    salt: int = 0
+    counters: list[int] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        require_positive(self.num_counters, "num_counters")
+        require_positive(self.num_groups, "num_groups")
+        if self.num_counters % self.num_groups:
+            raise ValueError("num_counters must be a multiple of num_groups")
+        if not self.counters:
+            self.counters = [0] * self.num_counters
+        if len(self.counters) != self.num_counters:
+            raise ValueError("counter list length does not match num_counters")
+
+    def add_item(self, value: int, count: int = 1) -> None:
+        """Add ``count`` occurrences of ``value``."""
+        for index in range(self.num_counters):
+            self.counters[index] += count * _sign(value, salt=self.salt * 1000003 + index)
+
+    def add_items(self, values: Iterable[int]) -> None:
+        for value in values:
+            self.add_item(value)
+
+    def merge(self, other: "AmsF2Sketch") -> "AmsF2Sketch":
+        """Counter-wise sum (sketches are linear)."""
+        if (
+            other.num_counters != self.num_counters
+            or other.num_groups != self.num_groups
+            or other.salt != self.salt
+        ):
+            raise ValueError("incompatible sketches")
+        merged = AmsF2Sketch(
+            num_counters=self.num_counters,
+            num_groups=self.num_groups,
+            salt=self.salt,
+        )
+        merged.counters = [a + b for a, b in zip(self.counters, other.counters)]
+        return merged
+
+    def estimate(self) -> float:
+        """Median-of-means estimate of F₂ = Σ frequency²."""
+        group_size = self.num_counters // self.num_groups
+        group_means = []
+        for group in range(self.num_groups):
+            start = group * group_size
+            squares = [c * c for c in self.counters[start : start + group_size]]
+            group_means.append(sum(squares) / group_size)
+        return float(median(group_means))
+
+    def serialized_bits(self, max_items: int = 1 << 20) -> int:
+        """Bits to transmit: counters bounded by ±max_items."""
+        return self.num_counters * (bit_width(max_items) + 1)

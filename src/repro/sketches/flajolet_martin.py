@@ -1,0 +1,98 @@
+"""Flajolet–Martin probabilistic counting (PCSA).
+
+The original probabilistic-counting sketch: each of ``m`` bitmaps records
+*every* rank observed (not just the maximum), and the estimate is derived from
+the position of the lowest unset bit.  It uses ``O(log N)`` bits per bitmap —
+asymptotically more than LogLog's ``O(log log N)`` — which is precisely the
+gap the paper exploits; the benchmarks show the difference in transmitted
+bits directly.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+
+from repro._util.validation import require_positive
+from repro.sketches.hashing import hash64, leading_rank
+
+# Correction factor phi from Flajolet & Martin (1985).
+_PHI = 0.77351
+
+
+@dataclass
+class FlajoletMartinSketch:
+    """A PCSA sketch with ``num_bitmaps`` bitmaps of ``bitmap_width`` bits."""
+
+    num_bitmaps: int = 64
+    bitmap_width: int = 32
+    salt: int = 0
+    bitmaps: list[int] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        require_positive(self.num_bitmaps, "num_bitmaps")
+        require_positive(self.bitmap_width, "bitmap_width")
+        if self.num_bitmaps & (self.num_bitmaps - 1):
+            raise ValueError("num_bitmaps must be a power of two")
+        if not self.bitmaps:
+            self.bitmaps = [0] * self.num_bitmaps
+        if len(self.bitmaps) != self.num_bitmaps:
+            raise ValueError("bitmap list length does not match num_bitmaps")
+
+    def _add_hash(self, hashed: int) -> None:
+        index = hashed & (self.num_bitmaps - 1)
+        remainder = hashed >> (self.num_bitmaps.bit_length() - 1)
+        rank = leading_rank(remainder, width=64 - (self.num_bitmaps.bit_length() - 1))
+        rank = min(rank, self.bitmap_width)
+        self.bitmaps[index] |= 1 << (rank - 1)
+
+    def add_item(self, value: int) -> None:
+        """Add a value by hash (distinct counting)."""
+        self._add_hash(hash64(value, salt=self.salt))
+
+    def add_random(self, rng: random.Random) -> None:
+        """Add a fresh random contribution (multiset counting)."""
+        self._add_hash(rng.getrandbits(64))
+
+    def merge(self, other: "FlajoletMartinSketch") -> "FlajoletMartinSketch":
+        """Bitmap-wise OR combination (order/duplicate insensitive)."""
+        if (
+            other.num_bitmaps != self.num_bitmaps
+            or other.bitmap_width != self.bitmap_width
+            or other.salt != self.salt
+        ):
+            raise ValueError("incompatible sketches")
+        merged = FlajoletMartinSketch(
+            num_bitmaps=self.num_bitmaps,
+            bitmap_width=self.bitmap_width,
+            salt=self.salt,
+        )
+        merged.bitmaps = [a | b for a, b in zip(self.bitmaps, other.bitmaps)]
+        return merged
+
+    def _lowest_unset_position(self, bitmap: int) -> int:
+        position = 0
+        while bitmap & (1 << position):
+            position += 1
+        return position
+
+    def estimate(self) -> float:
+        """PCSA estimate ``m / phi * 2^(mean lowest-unset-bit position)``."""
+        if all(bitmap == 0 for bitmap in self.bitmaps):
+            return 0.0
+        mean_position = (
+            sum(self._lowest_unset_position(bitmap) for bitmap in self.bitmaps)
+            / self.num_bitmaps
+        )
+        return (self.num_bitmaps / _PHI) * (2.0 ** mean_position)
+
+    @property
+    def relative_sigma(self) -> float:
+        """Relative standard error ≈ 0.78 / sqrt(m)."""
+        return 0.78 / math.sqrt(self.num_bitmaps)
+
+    def serialized_bits(self, max_expected_count: int = 1 << 30) -> int:
+        """Bits to transmit: ``m`` bitmaps of ``O(log N)`` bits — not loglog."""
+        del max_expected_count  # width is fixed, that is the point
+        return self.num_bitmaps * self.bitmap_width

@@ -1,0 +1,95 @@
+"""Counting by the maximum of geometric samples.
+
+Section 2.2 of the paper explains the idea behind approximate counting: if
+each of N nodes draws an independent Geometric(1/2) random variable (count
+fair coin flips until the first head), then the maximum of the samples
+concentrates around ``log2 N``.  Broadcasting only that maximum — a number of
+``O(log log N)`` bits — therefore yields an estimate of N.
+
+A single maximum is a very noisy estimator (its variance does not vanish), so
+:class:`GeometricMaxEstimator` keeps ``m`` independent maxima and averages
+them, which is exactly the structure the Durand–Flajolet LogLog sketch
+formalises.  The class exists mainly for exposition and for unit tests that
+check the concentration claim; the distributed protocol uses
+:class:`~repro.sketches.loglog.LogLogSketch`.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+
+from repro._util.bits import bit_width
+from repro._util.randomness import make_rng
+from repro._util.validation import require_positive
+
+
+def geometric_rank(rng: random.Random, max_rank: int = 64) -> int:
+    """Sample a Geometric(1/2) variable: number of flips up to the first head."""
+    rank = 1
+    while rank < max_rank and rng.random() < 0.5:
+        rank += 1
+    return rank
+
+
+@dataclass
+class GeometricMaxEstimator:
+    """``m`` independent "maximum of geometric samples" registers.
+
+    Each contributing node calls :meth:`observe` once per register with its own
+    locally drawn sample; registers from different nodes are combined with
+    :meth:`merge` (elementwise max).  The estimate applies the standard
+    LogLog-style bias correction to the mean register value.
+    """
+
+    num_registers: int = 16
+    registers: list[int] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        require_positive(self.num_registers, "num_registers")
+        if not self.registers:
+            self.registers = [0] * self.num_registers
+        if len(self.registers) != self.num_registers:
+            raise ValueError("register list length does not match num_registers")
+
+    @classmethod
+    def from_local_samples(
+        cls, num_registers: int, seed: int | random.Random | None
+    ) -> "GeometricMaxEstimator":
+        """Build the sketch a single node contributes: one sample per register."""
+        rng = make_rng(seed)
+        sketch = cls(num_registers=num_registers)
+        for index in range(num_registers):
+            sketch.registers[index] = geometric_rank(rng)
+        return sketch
+
+    def observe(self, register_index: int, rank: int) -> None:
+        """Fold one geometric sample into the given register."""
+        if not 0 <= register_index < self.num_registers:
+            raise IndexError(f"register index {register_index} out of range")
+        if rank > self.registers[register_index]:
+            self.registers[register_index] = rank
+
+    def merge(self, other: "GeometricMaxEstimator") -> "GeometricMaxEstimator":
+        """Return the elementwise-max combination of two sketches."""
+        if other.num_registers != self.num_registers:
+            raise ValueError("cannot merge sketches with different register counts")
+        merged = GeometricMaxEstimator(num_registers=self.num_registers)
+        merged.registers = [
+            max(a, b) for a, b in zip(self.registers, other.registers)
+        ]
+        return merged
+
+    def estimate(self) -> float:
+        """Estimate the number of contributing samples per register."""
+        if all(register == 0 for register in self.registers):
+            return 0.0
+        mean_rank = sum(self.registers) / self.num_registers
+        # E[max of N geometrics] ≈ log2(N) + 0.667; invert with that offset.
+        return max(1.0, 2.0 ** (mean_rank - 0.667))
+
+    def serialized_bits(self, max_expected_count: int = 1 << 30) -> int:
+        """Bits to transmit this sketch: m registers of O(log log N) bits each."""
+        register_width = bit_width(int(math.ceil(math.log2(max_expected_count))) + 1)
+        return self.num_registers * register_width

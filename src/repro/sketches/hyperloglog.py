@@ -1,0 +1,92 @@
+"""HyperLogLog counting.
+
+HyperLogLog replaces the arithmetic mean of the LogLog registers by a harmonic
+mean, improving the relative standard error from ``1.30/sqrt(m)`` to
+``1.04/sqrt(m)``.  The paper predates HyperLogLog; it is included as a drop-in
+alternative α-counting protocol so the ablation benchmarks can quantify how
+much the choice of counting sketch matters for the approximate median.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+
+from repro._util.bits import bit_width
+from repro._util.validation import require_positive
+from repro.sketches.hashing import hash64, leading_rank
+
+HYPERLOGLOG_SIGMA_CONSTANT = 1.04
+
+
+def hyperloglog_alpha(num_registers: int) -> float:
+    """Bias-correction constant for the harmonic-mean estimator."""
+    if num_registers == 16:
+        return 0.673
+    if num_registers == 32:
+        return 0.697
+    if num_registers == 64:
+        return 0.709
+    return 0.7213 / (1.0 + 1.079 / num_registers)
+
+
+@dataclass
+class HyperLogLogSketch:
+    """A HyperLogLog cardinality sketch."""
+
+    num_registers: int = 64
+    salt: int = 0
+    registers: list[int] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        require_positive(self.num_registers, "num_registers")
+        if self.num_registers & (self.num_registers - 1):
+            raise ValueError(
+                f"num_registers must be a power of two, got {self.num_registers}"
+            )
+        if not self.registers:
+            self.registers = [0] * self.num_registers
+        if len(self.registers) != self.num_registers:
+            raise ValueError("register list length does not match num_registers")
+
+    def _add_hash(self, hashed: int) -> None:
+        index = hashed & (self.num_registers - 1)
+        remainder = hashed >> (self.num_registers.bit_length() - 1)
+        rank = leading_rank(remainder, width=64 - (self.num_registers.bit_length() - 1))
+        if rank > self.registers[index]:
+            self.registers[index] = rank
+
+    def add_item(self, value: int) -> None:
+        """Add a value by hash — duplicate values collapse (distinct counting)."""
+        self._add_hash(hash64(value, salt=self.salt))
+
+    def add_random(self, rng: random.Random) -> None:
+        """Add a fresh random contribution (multiset counting)."""
+        self._add_hash(rng.getrandbits(64))
+
+    def merge(self, other: "HyperLogLogSketch") -> "HyperLogLogSketch":
+        """Register-wise max combination."""
+        if other.num_registers != self.num_registers or other.salt != self.salt:
+            raise ValueError("incompatible sketches")
+        merged = HyperLogLogSketch(num_registers=self.num_registers, salt=self.salt)
+        merged.registers = [max(a, b) for a, b in zip(self.registers, other.registers)]
+        return merged
+
+    def estimate(self) -> float:
+        """Bias-corrected harmonic-mean estimate with small-range correction."""
+        m = self.num_registers
+        harmonic_sum = sum(2.0 ** (-register) for register in self.registers)
+        raw = hyperloglog_alpha(m) * m * m / harmonic_sum
+        zero_registers = self.registers.count(0)
+        if raw <= 2.5 * m and zero_registers > 0:
+            return m * math.log(m / zero_registers)
+        return raw
+
+    @property
+    def relative_sigma(self) -> float:
+        return HYPERLOGLOG_SIGMA_CONSTANT / math.sqrt(self.num_registers)
+
+    def serialized_bits(self, max_expected_count: int = 1 << 30) -> int:
+        max_rank = int(math.ceil(math.log2(max(2, max_expected_count)))) + 4
+        return self.num_registers * bit_width(max_rank)

@@ -1,0 +1,159 @@
+"""q-digest quantile sketch.
+
+The q-digest (Shrivastava et al., SenSys 2004) is the other standard
+sensor-network quantile summary of the paper's era: a set of dyadic ranges
+over the value domain ``[0, 2^k)`` with counts, compressed so that at most
+``O(k / compression)`` ranges survive.  Summaries merge by adding counts of
+identical ranges and recompressing, which makes them convenient for in-network
+aggregation; the rank error after aggregation is ``O(log(max value) / k)`` of
+the total count.
+
+It is used by :mod:`repro.baselines.qdigest_median` as a second
+summary-shipping baseline alongside Greenwald–Khanna.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro._util.bits import fixed_width_bits
+from repro._util.validation import require_positive
+from repro.exceptions import ConfigurationError
+
+
+@dataclass
+class QDigest:
+    """A q-digest over the integer domain ``[0, universe_size)``.
+
+    Nodes of the implicit binary tree over the domain are identified by the
+    usual heap numbering: node 1 covers the whole domain, node ``2i`` and
+    ``2i + 1`` cover the two halves of node ``i``'s range.  ``counts`` maps
+    node id to the count stored there.
+    """
+
+    universe_size: int
+    compression: int = 64
+    counts: dict[int, int] = field(default_factory=dict)
+    total: int = 0
+
+    def __post_init__(self) -> None:
+        require_positive(self.universe_size, "universe_size")
+        require_positive(self.compression, "compression")
+        # Round the universe up to a power of two so the dyadic tree is full.
+        self._levels = max(1, math.ceil(math.log2(self.universe_size)))
+        self._padded_universe = 1 << self._levels
+
+    # ------------------------------------------------------------------ #
+    # Tree-node helpers
+    # ------------------------------------------------------------------ #
+    def _leaf_id(self, value: int) -> int:
+        if not 0 <= value < self.universe_size:
+            raise ConfigurationError(
+                f"value {value} outside universe [0, {self.universe_size})"
+            )
+        return self._padded_universe + value
+
+    def _node_range(self, node_id: int) -> tuple[int, int]:
+        """Closed-open value range [lo, hi) covered by a tree node."""
+        level = node_id.bit_length() - 1
+        span = self._padded_universe >> level
+        offset = (node_id - (1 << level)) * span
+        return offset, offset + span
+
+    # ------------------------------------------------------------------ #
+    # Updates
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_values(
+        cls, values: Iterable[int], universe_size: int, compression: int = 64
+    ) -> "QDigest":
+        digest = cls(universe_size=universe_size, compression=compression)
+        for value in values:
+            digest.add(value)
+        digest.compress()
+        return digest
+
+    def add(self, value: int, count: int = 1) -> None:
+        """Add ``count`` occurrences of ``value``."""
+        require_positive(count, "count")
+        leaf = self._leaf_id(value)
+        self.counts[leaf] = self.counts.get(leaf, 0) + count
+        self.total += count
+
+    def compress(self) -> None:
+        """Push small counts upward so at most O(compression · log U) nodes remain."""
+        if self.total == 0:
+            return
+        threshold = self.total / self.compression
+        for level in range(self._levels, 0, -1):
+            start = 1 << level
+            end = 1 << (level + 1)
+            for node_id in [n for n in list(self.counts) if start <= n < end]:
+                count = self.counts.get(node_id, 0)
+                sibling = node_id ^ 1
+                parent = node_id >> 1
+                sibling_count = self.counts.get(sibling, 0)
+                parent_count = self.counts.get(parent, 0)
+                if count + sibling_count + parent_count < threshold:
+                    merged = count + sibling_count + parent_count
+                    self.counts.pop(node_id, None)
+                    self.counts.pop(sibling, None)
+                    if merged:
+                        self.counts[parent] = merged
+                    else:
+                        self.counts.pop(parent, None)
+
+    # ------------------------------------------------------------------ #
+    # Combination and queries
+    # ------------------------------------------------------------------ #
+    def merge(self, other: "QDigest") -> "QDigest":
+        """Add counts node-wise and recompress."""
+        if other.universe_size != self.universe_size:
+            raise ConfigurationError("cannot merge digests over different universes")
+        merged = QDigest(
+            universe_size=self.universe_size,
+            compression=max(self.compression, other.compression),
+        )
+        merged.counts = dict(self.counts)
+        for node_id, count in other.counts.items():
+            merged.counts[node_id] = merged.counts.get(node_id, 0) + count
+        merged.total = self.total + other.total
+        merged.compress()
+        return merged
+
+    def quantile(self, fraction: float) -> int:
+        """Return a value whose rank approximates ``fraction * total``."""
+        if not 0.0 <= fraction <= 1.0:
+            raise ConfigurationError(f"fraction must lie in [0, 1], got {fraction}")
+        if self.total == 0:
+            raise ConfigurationError("cannot query an empty digest")
+        target = fraction * self.total
+        # Sort stored nodes by the upper end of their range (post-order style),
+        # accumulate counts and report the node whose range crosses the target.
+        ordered = sorted(
+            self.counts.items(), key=lambda item: (self._node_range(item[0])[1], item[0])
+        )
+        cumulative = 0
+        for node_id, count in ordered:
+            cumulative += count
+            if cumulative >= target:
+                low, high = self._node_range(node_id)
+                return min(high - 1, self.universe_size - 1)
+        last_low, last_high = self._node_range(ordered[-1][0])
+        return min(last_high - 1, self.universe_size - 1)
+
+    def median(self) -> int:
+        return self.quantile(0.5)
+
+    @property
+    def size(self) -> int:
+        """Number of stored (range, count) pairs."""
+        return len(self.counts)
+
+    def serialized_bits(self) -> int:
+        """Bits to transmit: each entry is a node id plus a count."""
+        node_id_bits = fixed_width_bits(2 * self._padded_universe)
+        count_bits = fixed_width_bits(max(self.total, 1))
+        return self.size * (node_id_bits + count_bits) + count_bits

@@ -1,0 +1,27 @@
+"""Workload (input-data) generators used by the tests, examples and benchmarks."""
+
+from repro.workloads.generators import (
+    WORKLOAD_GENERATORS,
+    adversarial_near_median_values,
+    all_equal_values,
+    bimodal_values,
+    clustered_values,
+    correlated_field_values,
+    generate_workload,
+    sequential_values,
+    uniform_values,
+    zipf_values,
+)
+
+__all__ = [
+    "WORKLOAD_GENERATORS",
+    "adversarial_near_median_values",
+    "all_equal_values",
+    "bimodal_values",
+    "clustered_values",
+    "correlated_field_values",
+    "generate_workload",
+    "sequential_values",
+    "uniform_values",
+    "zipf_values",
+]

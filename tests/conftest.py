@@ -1,0 +1,46 @@
+"""Shared fixtures for the test-suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.network.simulator import SensorNetwork
+from repro.network.topology import grid_topology, line_topology
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    """A deterministic random generator for tests that need raw randomness."""
+    return random.Random(12345)
+
+
+@pytest.fixture
+def small_items() -> list[int]:
+    """A small fixed multiset with a known median (42)."""
+    return [7, 12, 99, 42, 57, 3, 42, 68, 21]
+
+
+@pytest.fixture
+def small_network(small_items) -> SensorNetwork:
+    """A 9-node grid holding :func:`small_items`, one item per node."""
+    return SensorNetwork.from_items(small_items, topology=grid_topology(3, 3))
+
+
+@pytest.fixture
+def line_network() -> SensorNetwork:
+    """A 16-node line holding the values 0..15."""
+    return SensorNetwork.from_items(list(range(16)), topology=line_topology(16))
+
+
+@pytest.fixture
+def medium_items(rng) -> list[int]:
+    """100 random values in [0, 10_000], seeded."""
+    return [rng.randrange(0, 10_001) for _ in range(100)]
+
+
+@pytest.fixture
+def medium_network(medium_items) -> SensorNetwork:
+    """A 10x10 grid holding :func:`medium_items`."""
+    return SensorNetwork.from_items(medium_items, topology=grid_topology(10, 10))

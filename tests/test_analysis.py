@@ -1,0 +1,200 @@
+"""Tests for the analysis layer: metrics, theory envelopes, reports, experiment runners."""
+
+import math
+
+import pytest
+
+from repro.analysis.experiments import (
+    build_network,
+    default_domain,
+    run_apx_median_trials,
+    run_baseline_comparison,
+    run_count_distinct_sweep,
+    run_degree_bound_ablation,
+    run_exact_median_sweep,
+    run_order_statistic_sweep,
+    run_primitive_aggregates_sweep,
+    run_repetition_ablation,
+)
+from repro.analysis.metrics import (
+    fit_against_model,
+    fit_growth_exponent,
+    median_accuracy,
+)
+from repro.analysis.report import format_table
+from repro.analysis.theory import (
+    apx_median_bits_envelope,
+    approx_distinct_bits_envelope,
+    exact_distinct_bits_envelope,
+    exact_median_bits_envelope,
+    naive_median_bits_envelope,
+    polyloglog_median_bits_envelope,
+    predicted_crossover,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestMetrics:
+    def test_median_accuracy_exact(self):
+        items = [1, 2, 3, 4, 5]
+        accuracy = median_accuracy(items, 3)
+        assert accuracy.exact
+        assert accuracy.value_error == 0.0
+
+    def test_median_accuracy_off_by_value(self):
+        items = [0, 100, 200, 300, 400]
+        accuracy = median_accuracy(items, 220)
+        assert not accuracy.exact
+        assert accuracy.value_error == pytest.approx(20 / 400)
+
+    def test_median_accuracy_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            median_accuracy([], 1)
+
+    def test_fit_growth_exponent_linear(self):
+        sizes = [10, 20, 40, 80]
+        costs = [5 * size for size in sizes]
+        exponent, constant = fit_growth_exponent(sizes, costs)
+        assert exponent == pytest.approx(1.0, abs=0.01)
+        assert constant == pytest.approx(5.0, rel=0.05)
+
+    def test_fit_growth_exponent_polylog_is_flat(self):
+        sizes = [2 ** k for k in range(5, 13)]
+        costs = [math.log2(size) ** 2 for size in sizes]
+        exponent, _ = fit_growth_exponent(sizes, costs)
+        assert exponent < 0.5
+
+    def test_fit_growth_requires_two_points(self):
+        with pytest.raises(ConfigurationError):
+            fit_growth_exponent([10], [100])
+
+    def test_fit_against_model_flat_ratio(self):
+        sizes = [100, 1000, 10_000]
+        costs = [7 * math.log2(size) ** 2 for size in sizes]
+        constant, spread = fit_against_model(
+            sizes, costs, lambda n: math.log2(n) ** 2
+        )
+        assert constant == pytest.approx(7.0, rel=0.01)
+        assert spread == pytest.approx(1.0, rel=0.01)
+
+    def test_fit_against_model_detects_wrong_model(self):
+        sizes = [100, 1000, 10_000]
+        costs = [size * 3 for size in sizes]
+        _, spread = fit_against_model(sizes, costs, lambda n: math.log2(n) ** 2)
+        assert spread > 10
+
+
+class TestTheoryEnvelopes:
+    def test_exact_median_is_polylog(self):
+        assert exact_median_bits_envelope(1 << 20, 1 << 40) == pytest.approx(20 * 40)
+
+    def test_polyloglog_grows_slower_than_exact(self):
+        small_n, large_n = 2 ** 10, 2 ** 60
+        exact_growth = exact_median_bits_envelope(large_n, large_n ** 2) / \
+            exact_median_bits_envelope(small_n, small_n ** 2)
+        approx_growth = polyloglog_median_bits_envelope(large_n) / \
+            polyloglog_median_bits_envelope(small_n)
+        assert approx_growth < exact_growth / 4
+
+    def test_naive_is_linear(self):
+        assert naive_median_bits_envelope(2000, 4_000_000) == pytest.approx(
+            2 * naive_median_bits_envelope(1000, 4_000_000)
+        )
+
+    def test_distinct_envelopes(self):
+        assert exact_distinct_bits_envelope(500) == 500
+        assert approx_distinct_bits_envelope(1 << 20, num_registers=64) < 500
+
+    def test_apx_median_envelope_scales_with_registers(self):
+        assert apx_median_bits_envelope(1000, num_registers=256) > apx_median_bits_envelope(
+            1000, num_registers=16
+        )
+
+    def test_envelopes_reject_nonpositive_n(self):
+        with pytest.raises(ConfigurationError):
+            exact_median_bits_envelope(0)
+
+    def test_predicted_crossover_exists_for_small_constants(self):
+        crossover = predicted_crossover(
+            exact_constant=1.0, approx_constant=0.01, num_registers=16
+        )
+        assert crossover is not None and crossover > 1
+
+    def test_predicted_crossover_none_when_approx_too_expensive(self):
+        crossover = predicted_crossover(
+            exact_constant=1.0, approx_constant=1e9, num_registers=256, max_exponent=50
+        )
+        assert crossover is None
+
+
+class TestReport:
+    def test_basic_table(self):
+        text = format_table(
+            ["name", "value"],
+            [["alpha", 1.0], ["beta", 12345.678]],
+            title="Demo",
+        )
+        assert "Demo" in text
+        assert "alpha" in text
+        assert "1.23e+04" in text or "12345" in text
+
+    def test_boolean_rendering(self):
+        text = format_table(["ok"], [[True], [False]])
+        assert "yes" in text and "no" in text
+
+    def test_column_alignment(self):
+        text = format_table(["a", "b"], [["x", "y"]])
+        header, underline, row = text.splitlines()
+        assert len(underline) >= len(header.rstrip())
+
+
+class TestExperimentRunners:
+    def test_default_domain_is_polynomial(self):
+        assert default_domain(100) == 10_000
+
+    def test_build_network_shapes(self):
+        network, items, domain = build_network(36, workload="uniform", topology="grid")
+        assert network.num_nodes == 36
+        assert len(items) == 36
+        assert domain == 36 * 36
+
+    def test_primitive_sweep_records(self):
+        records = run_primitive_aggregates_sweep([16], topology="line")
+        assert {record.protocol for record in records} == {"MIN", "MAX", "COUNT", "SUM", "AVG"}
+        assert all(record.max_node_bits > 0 for record in records)
+
+    def test_exact_median_sweep_is_exact(self):
+        records = run_exact_median_sweep([25, 49], workloads=("uniform", "zipf"))
+        assert all(record.extra["exact"] for record in records)
+
+    def test_order_statistic_sweep(self):
+        records = run_order_statistic_sweep(36, quantiles=(0.25, 0.5, 0.75))
+        assert len(records) == 3
+
+    def test_apx_median_trials_summary(self):
+        summary = run_apx_median_trials(49, trials=3, num_registers=64)
+        assert 0.0 <= summary.success_rate <= 1.0
+        assert summary.trials == 3
+
+    def test_count_distinct_sweep_contrast(self):
+        records = run_count_distinct_sweep([64])
+        exact = next(r for r in records if "exact" in r.protocol)
+        approx = next(r for r in records if "loglog" in r.protocol)
+        assert exact.answer == 64
+        assert exact.max_node_bits > approx.max_node_bits
+
+    def test_baseline_comparison_contains_all_contenders(self):
+        records = run_baseline_comparison([36], include_gossip=False, apx_registers=16)
+        names = {record.protocol for record in records}
+        assert "MEDIAN (Fig.1)" in names
+        assert "naive ship-all" in names
+        assert len(names) == 7
+
+    def test_repetition_ablation_costs_increase_with_cap(self):
+        summaries = run_repetition_ablation(36, caps=(1, 4), trials=2, num_registers=16)
+        assert summaries[1].mean_max_node_bits > summaries[0].mean_max_node_bits
+
+    def test_degree_bound_ablation_reports_tree_stats(self):
+        records = run_degree_bound_ablation(20, degree_bounds=(None, 3), topology="single_hop")
+        unbounded, bounded = records
+        assert unbounded.extra["tree_degree"] >= bounded.extra["tree_degree"]

@@ -1,0 +1,143 @@
+"""Tests for the reference definitions (Section 2.3, Definitions 2.3 / 2.4)."""
+
+import pytest
+
+from repro.core.definitions import (
+    approximate_order_statistic_interval,
+    is_approximate_median,
+    is_approximate_order_statistic,
+    is_median,
+    is_order_statistic,
+    rank,
+    reference_median,
+    reference_order_statistic,
+)
+from repro.exceptions import ConfigurationError, EmptyNetworkError
+
+
+class TestRank:
+    def test_strictly_smaller(self):
+        items = [1, 3, 3, 7]
+        assert rank(items, 3) == 1
+        assert rank(items, 4) == 3
+        assert rank(items, 0) == 0
+        assert rank(items, 100) == 4
+
+    def test_fractional_threshold(self):
+        assert rank([1, 2, 3], 2.5) == 2
+
+
+class TestOrderStatisticDefinition:
+    def test_median_of_odd_multiset(self):
+        items = [5, 1, 9]
+        assert reference_median(items) == 5
+        assert is_median(items, 5)
+        assert not is_median(items, 1)
+        assert not is_median(items, 9)
+
+    def test_median_of_even_multiset_is_lower_median(self):
+        items = [1, 2, 3, 4]
+        assert reference_median(items) == 2
+        assert is_median(items, 2)
+        assert not is_median(items, 3)
+
+    def test_duplicates(self):
+        items = [4, 4, 4, 4, 9]
+        assert reference_median(items) == 4
+        assert is_median(items, 4)
+
+    def test_k_extremes(self):
+        items = [10, 20, 30, 40]
+        assert reference_order_statistic(items, 1) == 10
+        assert reference_order_statistic(items, 4) == 40
+
+    def test_fractional_k(self):
+        items = [10, 20, 30]
+        assert reference_order_statistic(items, 1.5) == 20
+
+    def test_reference_is_unique_integer_order_statistic(self):
+        # Definition 2.3 pins down a unique integer when items are integers.
+        items = [3, 8, 8, 15, 22]
+        for k in (1, 2, 2.5, 3, 4, 5):
+            value = reference_order_statistic(items, k)
+            assert is_order_statistic(items, k, value)
+            others = [
+                candidate
+                for candidate in range(0, 30)
+                if candidate != value and is_order_statistic(items, k, candidate)
+            ]
+            assert others == []
+
+    def test_out_of_range_k_rejected(self):
+        with pytest.raises(ConfigurationError):
+            reference_order_statistic([1, 2, 3], 0)
+        with pytest.raises(ConfigurationError):
+            reference_order_statistic([1, 2, 3], 4)
+
+    def test_empty_rejected(self):
+        with pytest.raises(EmptyNetworkError):
+            reference_median([])
+        with pytest.raises(EmptyNetworkError):
+            is_order_statistic([], 1, 0)
+
+
+class TestApproximateDefinition:
+    def test_exact_median_is_always_approximate_median(self):
+        items = [2, 9, 4, 7, 7, 1, 8]
+        median = reference_median(items)
+        assert is_approximate_median(items, median, alpha=0.0, beta=0.0)
+
+    def test_value_slack_beta(self):
+        items = [0, 100, 200, 300, 400]
+        median = 200
+        # 210 is not a median but is within 0.05 * 400 = 20 of one.
+        assert not is_median(items, 210)
+        assert is_approximate_median(items, 210, alpha=0.0, beta=0.05)
+        assert not is_approximate_median(items, 210, alpha=0.0, beta=0.01)
+
+    def test_rank_slack_alpha(self):
+        items = list(range(100))
+        # Value 60 has rank 60 = 0.6 N; it is a (0.25, 0)-median but not a (0.1, 0)-median.
+        assert is_approximate_median(items, 60, alpha=0.25, beta=0.0)
+        assert not is_approximate_median(items, 60, alpha=0.1, beta=0.0)
+
+    def test_interval_is_ordered(self):
+        items = list(range(50))
+        low, high = approximate_order_statistic_interval(items, 25, alpha=0.2)
+        assert low <= high
+
+    def test_interval_widens_with_alpha(self):
+        items = list(range(50))
+        narrow = approximate_order_statistic_interval(items, 25, alpha=0.05)
+        wide = approximate_order_statistic_interval(items, 25, alpha=0.4)
+        assert wide[0] <= narrow[0] and wide[1] >= narrow[1]
+
+    def test_alpha_one_removes_lower_constraint(self):
+        items = list(range(10))
+        low, high = approximate_order_statistic_interval(items, 5, alpha=1.0)
+        assert low == float("-inf")
+        assert high == 9.0  # k(1+alpha) = N keeps the largest item as the cap
+
+    def test_alpha_beyond_one_removes_upper_constraint_too(self):
+        items = list(range(10))
+        low, high = approximate_order_statistic_interval(items, 5, alpha=1.2)
+        assert low == float("-inf")
+        assert high == float("inf")
+
+    def test_negative_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            is_approximate_median([1, 2, 3], 2, alpha=-0.1, beta=0.0)
+
+    def test_brute_force_agreement_small_domain(self):
+        # Cross-check the interval computation against a brute-force scan.
+        items = [0, 2, 2, 5, 9, 9, 9, 14]
+        k = len(items) / 2.0
+        alpha = 0.3
+        low, high = approximate_order_statistic_interval(items, k, alpha)
+        for candidate in range(-1, 16):
+            satisfies = (
+                rank(items, candidate) < k * (1 + alpha)
+                and rank(items, candidate + 1) >= k * (1 - alpha)
+            )
+            in_interval = low <= candidate <= high
+            assert satisfies == in_interval, candidate

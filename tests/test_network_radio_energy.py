@@ -1,0 +1,93 @@
+"""Tests for the radio models and the energy model."""
+
+import pytest
+
+from repro.exceptions import DeliveryError
+from repro.network.accounting import CommunicationLedger
+from repro.network.energy import EnergyModel
+from repro.network.radio import DuplicatingRadio, LossyRadio, ReliableRadio
+
+
+class TestReliableRadio:
+    def test_always_delivers_once(self):
+        radio = ReliableRadio()
+        for _ in range(10):
+            outcome = radio.transmit(0, 1)
+            assert outcome.delivered
+            assert outcome.attempts == 1
+            assert outcome.copies_delivered == 1
+
+
+class TestLossyRadio:
+    def test_zero_loss_behaves_like_reliable(self):
+        radio = LossyRadio(loss_rate=0.0, seed=1)
+        assert radio.transmit(0, 1).attempts == 1
+
+    def test_retries_until_delivery(self):
+        radio = LossyRadio(loss_rate=0.7, seed=3, max_retries=64)
+        outcomes = [radio.transmit(0, 1) for _ in range(50)]
+        assert all(outcome.delivered for outcome in outcomes)
+        assert any(outcome.attempts > 1 for outcome in outcomes)
+
+    def test_mean_attempts_tracks_loss_rate(self):
+        radio = LossyRadio(loss_rate=0.5, seed=5, max_retries=200)
+        attempts = [radio.transmit(0, 1).attempts for _ in range(400)]
+        mean_attempts = sum(attempts) / len(attempts)
+        assert 1.6 < mean_attempts < 2.5  # geometric mean 1/(1-p) = 2
+
+    def test_permanent_failure_raises(self):
+        radio = LossyRadio(loss_rate=0.999, seed=1, max_retries=0)
+        with pytest.raises(DeliveryError):
+            for _ in range(100):
+                radio.transmit(0, 1)
+
+    def test_loss_rate_one_rejected(self):
+        with pytest.raises(DeliveryError):
+            LossyRadio(loss_rate=1.0)
+
+    def test_reset_restores_stream(self):
+        radio = LossyRadio(loss_rate=0.5, seed=9)
+        first = [radio.transmit(0, 1).attempts for _ in range(20)]
+        radio.reset()
+        second = [radio.transmit(0, 1).attempts for _ in range(20)]
+        assert first == second
+
+
+class TestDuplicatingRadio:
+    def test_no_duplication_at_zero_rate(self):
+        radio = DuplicatingRadio(duplicate_rate=0.0, seed=1)
+        assert all(radio.transmit(0, 1).copies_delivered == 1 for _ in range(20))
+
+    def test_duplicates_appear(self):
+        radio = DuplicatingRadio(duplicate_rate=0.5, seed=2)
+        copies = [radio.transmit(0, 1).copies_delivered for _ in range(200)]
+        assert set(copies) == {1, 2}
+        fraction_duplicated = sum(1 for c in copies if c == 2) / len(copies)
+        assert 0.35 < fraction_duplicated < 0.65
+
+
+class TestEnergyModel:
+    def test_transmit_more_expensive_than_receive(self):
+        model = EnergyModel()
+        assert model.transmit_cost(100) > model.receive_cost(100)
+
+    def test_report_from_ledger(self):
+        ledger = CommunicationLedger()
+        ledger.charge(0, 1, 1000)
+        ledger.charge(1, 2, 500)
+        report = EnergyModel().report(ledger)
+        assert set(report.per_node_nj) == {0, 1, 2}
+        # Node 1 both received 1000 and sent 500 — it is the hottest node.
+        assert report.peak_node_nj == report.per_node_nj[1]
+        assert report.total_nj == pytest.approx(sum(report.per_node_nj.values()))
+
+    def test_lifetime_proxy_inverse_of_peak(self):
+        ledger = CommunicationLedger()
+        ledger.charge(0, 1, 10)
+        report = EnergyModel().report(ledger)
+        assert report.network_lifetime_proxy == pytest.approx(1.0 / report.peak_node_nj)
+
+    def test_empty_ledger_report(self):
+        report = EnergyModel().report(CommunicationLedger())
+        assert report.total_nj == 0.0
+        assert report.network_lifetime_proxy == float("inf")

@@ -1,0 +1,145 @@
+"""Tests for broadcast, convergecast and the TAG-style aggregates (Fact 2.1)."""
+
+import math
+
+import pytest
+
+from repro.exceptions import EmptyNetworkError
+from repro.network.simulator import SensorNetwork
+from repro.network.topology import grid_topology, line_topology, single_hop_topology
+from repro.protocols.aggregates import (
+    AverageProtocol,
+    CountProtocol,
+    MaxProtocol,
+    MinProtocol,
+    SumProtocol,
+)
+from repro.protocols.broadcast import broadcast
+from repro.protocols.convergecast import convergecast
+from repro.workloads.generators import uniform_values
+
+
+class TestBroadcast:
+    def test_reaches_every_node(self, small_network):
+        delivered = broadcast(small_network, {"q": 1}, 16)
+        assert set(delivered) == set(small_network.node_ids())
+
+    def test_every_tree_edge_charged_once(self, small_network):
+        broadcast(small_network, "x", 10)
+        assert small_network.ledger.total_bits == 10 * (small_network.num_nodes - 1)
+
+    def test_leaf_cost_is_receive_only(self, line_network):
+        broadcast(line_network, "x", 10)
+        last = line_network.num_nodes - 1
+        assert line_network.ledger.traffic(last).bits_sent == 0
+        assert line_network.ledger.traffic(last).bits_received == 10
+
+    def test_rounds_equal_tree_height(self, line_network):
+        broadcast(line_network, "x", 10)
+        assert line_network.ledger.rounds == line_network.tree.height
+
+
+class TestConvergecast:
+    def test_sum_aggregation(self, small_network):
+        total = convergecast(
+            small_network,
+            lambda node: sum(node.items),
+            lambda a, b: a + b,
+            16,
+        )
+        assert total == sum(small_network.all_items())
+
+    def test_callable_size(self, line_network):
+        convergecast(
+            line_network,
+            lambda node: sum(node.items),
+            lambda a, b: a + b,
+            lambda value: 100,
+        )
+        assert line_network.ledger.total_bits == 100 * (line_network.num_nodes - 1)
+
+    def test_root_sends_nothing(self, small_network):
+        convergecast(small_network, lambda node: 1, lambda a, b: a + b, 8)
+        assert small_network.ledger.traffic(small_network.root_id).bits_sent == 0
+
+
+class TestExtremumProtocols:
+    def test_min_and_max(self, small_network, small_items):
+        assert MinProtocol().run(small_network).value == min(small_items)
+        assert MaxProtocol().run(small_network).value == max(small_items)
+
+    def test_with_domain_hint(self, small_network, small_items):
+        result = MaxProtocol(domain_max=1000).run(small_network)
+        assert result.value == max(small_items)
+
+    def test_nodes_without_items_are_skipped(self):
+        network = SensorNetwork.from_items([5, 9, 2], topology=line_topology(3))
+        network.assign_items({1: []})
+        assert MinProtocol().run(network).value == 2
+        assert MaxProtocol().run(network).value == 5
+
+    def test_empty_network_rejected(self):
+        network = SensorNetwork.from_items([1, 2], topology=line_topology(2))
+        network.clear_items()
+        with pytest.raises(EmptyNetworkError):
+            MinProtocol().run(network)
+
+    def test_custom_view(self, small_network, small_items):
+        doubled = MaxProtocol(view=lambda node: [2 * item for item in node.items])
+        assert doubled.run(small_network).value == 2 * max(small_items)
+
+
+class TestCountSumAverage:
+    def test_count(self, small_network, small_items):
+        assert CountProtocol().run(small_network).value == len(small_items)
+
+    def test_count_with_multiple_items_per_node(self):
+        network = SensorNetwork.from_items([1, 2, 3], topology=line_topology(3))
+        network.assign_items({0: [1, 2, 3, 4]})
+        assert CountProtocol().run(network).value == 6
+
+    def test_sum(self, small_network, small_items):
+        assert SumProtocol().run(small_network).value == sum(small_items)
+
+    def test_average(self, small_network, small_items):
+        result = AverageProtocol().run(small_network)
+        assert result.value == pytest.approx(sum(small_items) / len(small_items))
+
+    def test_average_empty_rejected(self):
+        network = SensorNetwork.from_items([1], topology=line_topology(1))
+        network.clear_items()
+        with pytest.raises(EmptyNetworkError):
+            AverageProtocol().run(network)
+
+
+class TestFact21Complexity:
+    """Fact 2.1: primitive aggregates cost O(log N) bits per node."""
+
+    @pytest.mark.parametrize("protocol_cls", [MinProtocol, MaxProtocol, CountProtocol, SumProtocol])
+    def test_per_node_bits_logarithmic(self, protocol_cls):
+        costs = {}
+        for side in (6, 12):
+            n = side * side
+            items = uniform_values(n, max_value=n * n, seed=1)
+            network = SensorNetwork.from_items(items, topology=grid_topology(side))
+            result = protocol_cls().run(network)
+            costs[n] = result.max_node_bits
+        # Quadrupling N should grow the per-node cost far slower than 4x
+        # (log(N^2) only doubles); allow a generous factor.
+        assert costs[144] <= 2.5 * costs[36]
+
+    def test_count_cost_independent_of_topology_hubs(self):
+        items = uniform_values(30, max_value=1000, seed=2)
+        clique = SensorNetwork.from_items(items, topology=single_hop_topology(30))
+        line = SensorNetwork.from_items(items, topology=line_topology(30))
+        clique_cost = CountProtocol().run(clique).max_node_bits
+        line_cost = CountProtocol().run(line).max_node_bits
+        # With the bounded-degree tree the clique is not much worse than the line.
+        assert clique_cost <= 4 * line_cost
+
+    def test_result_metrics_populated(self, small_network):
+        result = CountProtocol().run(small_network)
+        assert result.total_bits > 0
+        assert result.messages > 0
+        assert result.rounds > 0
+        assert result.max_node_bits <= result.total_bits

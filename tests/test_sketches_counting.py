@@ -1,0 +1,194 @@
+"""Tests for the cardinality sketches (LogLog, HyperLogLog, FM, geometric max)."""
+
+import random
+
+import pytest
+
+from repro.sketches.flajolet_martin import FlajoletMartinSketch
+from repro.sketches.geometric import GeometricMaxEstimator, geometric_rank
+from repro.sketches.hyperloglog import HyperLogLogSketch
+from repro.sketches.loglog import LogLogSketch, loglog_relative_sigma
+
+
+class TestGeometricRank:
+    def test_minimum_is_one(self):
+        rng = random.Random(0)
+        assert all(geometric_rank(rng) >= 1 for _ in range(100))
+
+    def test_mean_is_about_two(self):
+        rng = random.Random(1)
+        samples = [geometric_rank(rng) for _ in range(20_000)]
+        assert 1.9 < sum(samples) / len(samples) < 2.1
+
+    def test_max_concentrates_near_log_n(self):
+        # The observation behind Fact 2.2: max of N geometric samples ≈ log2 N.
+        rng = random.Random(2)
+        n = 4096
+        maxima = [max(geometric_rank(rng) for _ in range(n)) for _ in range(20)]
+        mean_max = sum(maxima) / len(maxima)
+        assert 10 < mean_max < 16  # log2(4096) = 12
+
+
+class TestGeometricMaxEstimator:
+    def test_empty_estimate_is_zero(self):
+        assert GeometricMaxEstimator(num_registers=8).estimate() == 0.0
+
+    def test_estimates_sample_count_within_factor_two(self):
+        n = 2000
+        sketch = GeometricMaxEstimator(num_registers=64)
+        rng = random.Random(3)
+        for _ in range(n):
+            for register in range(sketch.num_registers):
+                sketch.observe(register, geometric_rank(rng))
+        assert n / 2 <= sketch.estimate() <= 2 * n
+
+    def test_merge_is_elementwise_max(self):
+        a = GeometricMaxEstimator(num_registers=4, registers=[1, 5, 2, 0])
+        b = GeometricMaxEstimator(num_registers=4, registers=[3, 1, 2, 7])
+        assert a.merge(b).registers == [3, 5, 2, 7]
+
+    def test_merge_size_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            GeometricMaxEstimator(num_registers=4).merge(
+                GeometricMaxEstimator(num_registers=8)
+            )
+
+    def test_observe_bounds_checked(self):
+        sketch = GeometricMaxEstimator(num_registers=4)
+        with pytest.raises(IndexError):
+            sketch.observe(4, 1)
+
+    def test_from_local_samples_reproducible(self):
+        a = GeometricMaxEstimator.from_local_samples(16, seed=5)
+        b = GeometricMaxEstimator.from_local_samples(16, seed=5)
+        assert a.registers == b.registers
+
+
+@pytest.mark.parametrize("sketch_cls", [LogLogSketch, HyperLogLogSketch])
+class TestLogLogFamily:
+    def test_empty_estimate_zero(self, sketch_cls):
+        assert sketch_cls(num_registers=16).estimate() == 0.0
+
+    def test_requires_power_of_two_registers(self, sketch_cls):
+        with pytest.raises(ValueError):
+            sketch_cls(num_registers=10)
+
+    def test_distinct_counting_accuracy(self, sketch_cls):
+        sketch = sketch_cls(num_registers=256, salt=1)
+        true_count = 5000
+        for value in range(true_count):
+            sketch.add_item(value)
+        estimate = sketch.estimate()
+        assert abs(estimate - true_count) / true_count < 0.25
+
+    def test_duplicates_collapse_in_item_mode(self, sketch_cls):
+        sketch = sketch_cls(num_registers=64, salt=2)
+        for _ in range(50):
+            for value in range(100):
+                sketch.add_item(value)
+        assert sketch.estimate() < 400  # ~100 despite 5000 insertions
+
+    def test_random_mode_counts_multiplicities(self, sketch_cls):
+        sketch = sketch_cls(num_registers=256, salt=3)
+        rng = random.Random(7)
+        for _ in range(3000):
+            sketch.add_random(rng)
+        assert abs(sketch.estimate() - 3000) / 3000 < 0.3
+
+    def test_merge_equals_union(self, sketch_cls):
+        left = sketch_cls(num_registers=64, salt=4)
+        right = sketch_cls(num_registers=64, salt=4)
+        union = sketch_cls(num_registers=64, salt=4)
+        for value in range(0, 600):
+            left.add_item(value)
+            union.add_item(value)
+        for value in range(400, 1000):
+            right.add_item(value)
+            union.add_item(value)
+        merged = left.merge(right)
+        assert merged.registers == union.registers
+
+    def test_merge_salt_mismatch_rejected(self, sketch_cls):
+        with pytest.raises(ValueError):
+            sketch_cls(num_registers=16, salt=1).merge(sketch_cls(num_registers=16, salt=2))
+
+    def test_merge_size_mismatch_rejected(self, sketch_cls):
+        with pytest.raises(ValueError):
+            sketch_cls(num_registers=16).merge(sketch_cls(num_registers=32))
+
+    def test_serialized_bits_are_loglog_sized(self, sketch_cls):
+        sketch = sketch_cls(num_registers=64)
+        # 64 registers of ~5-6 bits each — far below 64 values of 30 bits.
+        assert sketch.serialized_bits(1 << 30) <= 64 * 6
+
+    def test_relative_sigma_decreases_with_registers(self, sketch_cls):
+        small = sketch_cls(num_registers=16)
+        large = sketch_cls(num_registers=256)
+        assert large.relative_sigma < small.relative_sigma
+
+
+class TestLogLogSpecifics:
+    def test_sigma_constant(self):
+        assert loglog_relative_sigma(64) == pytest.approx(1.30 / 8.0)
+
+    def test_copy_is_independent(self):
+        sketch = LogLogSketch(num_registers=16)
+        clone = sketch.copy()
+        clone.add_item(1)
+        assert sketch.registers != clone.registers or sketch.estimate() == 0.0
+
+    def test_merge_in_place(self):
+        a = LogLogSketch(num_registers=16, salt=1)
+        b = LogLogSketch(num_registers=16, salt=1)
+        for value in range(100):
+            b.add_item(value)
+        a.merge_in_place(b)
+        assert a.registers == b.registers
+
+    def test_estimator_variance_matches_promise(self):
+        # Empirical check of Fact 2.2's sigma across independent salts.
+        true_count = 2000
+        m = 64
+        estimates = []
+        for salt in range(40):
+            sketch = LogLogSketch(num_registers=m, salt=salt)
+            for value in range(true_count):
+                sketch.add_item(value + salt * 10_000_000)
+            estimates.append(sketch.estimate())
+        mean = sum(estimates) / len(estimates)
+        spread = (sum((e - mean) ** 2 for e in estimates) / len(estimates)) ** 0.5
+        relative = spread / true_count
+        # Promise is ~1.3/sqrt(64) = 0.1625; allow a generous band.
+        assert relative < 0.35
+
+
+class TestFlajoletMartin:
+    def test_estimate_within_factor_two(self):
+        sketch = FlajoletMartinSketch(num_bitmaps=64, salt=1)
+        true_count = 4000
+        for value in range(true_count):
+            sketch.add_item(value)
+        assert true_count / 2 <= sketch.estimate() <= 2 * true_count
+
+    def test_merge_is_bitwise_or(self):
+        a = FlajoletMartinSketch(num_bitmaps=16, salt=2)
+        b = FlajoletMartinSketch(num_bitmaps=16, salt=2)
+        for value in range(200):
+            a.add_item(value)
+        for value in range(100, 300):
+            b.add_item(value)
+        merged = a.merge(b)
+        for index in range(16):
+            assert merged.bitmaps[index] == a.bitmaps[index] | b.bitmaps[index]
+
+    def test_empty_estimate_zero(self):
+        assert FlajoletMartinSketch(num_bitmaps=16).estimate() == 0.0
+
+    def test_serialized_bits_are_log_sized_not_loglog(self):
+        fm = FlajoletMartinSketch(num_bitmaps=64, bitmap_width=32)
+        loglog = LogLogSketch(num_registers=64)
+        assert fm.serialized_bits() > 3 * loglog.serialized_bits(1 << 30)
+
+    def test_incompatible_merge_rejected(self):
+        with pytest.raises(ValueError):
+            FlajoletMartinSketch(num_bitmaps=16).merge(FlajoletMartinSketch(num_bitmaps=32))

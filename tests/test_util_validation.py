@@ -1,0 +1,70 @@
+"""Tests for the argument-validation helpers."""
+
+import pytest
+
+from repro._util.validation import (
+    require_integer,
+    require_non_negative,
+    require_positive,
+    require_probability,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestRequireInteger:
+    def test_accepts_int(self):
+        assert require_integer(7, "x") == 7
+
+    def test_rejects_bool(self):
+        with pytest.raises(ConfigurationError):
+            require_integer(True, "x")
+
+    def test_rejects_float(self):
+        with pytest.raises(ConfigurationError):
+            require_integer(1.5, "x")
+
+    def test_rejects_string(self):
+        with pytest.raises(ConfigurationError):
+            require_integer("3", "x")
+
+    def test_error_message_contains_name(self):
+        with pytest.raises(ConfigurationError, match="widget"):
+            require_integer(None, "widget")
+
+
+class TestRequirePositive:
+    def test_accepts_positive(self):
+        assert require_positive(3, "x") == 3
+
+    @pytest.mark.parametrize("value", [0, -1, -100])
+    def test_rejects_non_positive(self, value):
+        with pytest.raises(ConfigurationError):
+            require_positive(value, "x")
+
+
+class TestRequireNonNegative:
+    def test_accepts_zero(self):
+        assert require_non_negative(0, "x") == 0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            require_non_negative(-1, "x")
+
+
+class TestRequireProbability:
+    @pytest.mark.parametrize("value", [0.0, 0.5, 1.0, 0])
+    def test_accepts_valid(self, value):
+        assert require_probability(value, "p") == float(value)
+
+    @pytest.mark.parametrize("value", [-0.01, 1.01, 2, -5])
+    def test_rejects_out_of_range(self, value):
+        with pytest.raises(ConfigurationError):
+            require_probability(value, "p")
+
+    def test_rejects_bool(self):
+        with pytest.raises(ConfigurationError):
+            require_probability(True, "p")
+
+    def test_rejects_non_numeric(self):
+        with pytest.raises(ConfigurationError):
+            require_probability("0.5", "p")

@@ -1,0 +1,96 @@
+"""Tests for the workload generators."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.workloads.generators import (
+    WORKLOAD_GENERATORS,
+    adversarial_near_median_values,
+    all_equal_values,
+    bimodal_values,
+    clustered_values,
+    correlated_field_values,
+    generate_workload,
+    sequential_values,
+    uniform_values,
+    zipf_values,
+)
+
+
+class TestGeneralProperties:
+    @pytest.mark.parametrize("name", sorted(WORKLOAD_GENERATORS))
+    def test_count_and_bounds(self, name):
+        values = generate_workload(name, 200, max_value=10_000, seed=3)
+        assert len(values) == 200
+        assert all(isinstance(value, int) for value in values)
+        assert all(0 <= value <= 10_000 for value in values)
+
+    @pytest.mark.parametrize("name", sorted(WORKLOAD_GENERATORS))
+    def test_deterministic_in_seed(self, name):
+        a = generate_workload(name, 100, max_value=5_000, seed=7)
+        b = generate_workload(name, 100, max_value=5_000, seed=7)
+        assert a == b
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(ConfigurationError):
+            generate_workload("weird", 10)
+
+    def test_zero_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            uniform_values(0)
+
+
+class TestSpecificShapes:
+    def test_uniform_spans_range(self):
+        values = uniform_values(2000, max_value=1000, seed=1)
+        assert min(values) < 100 and max(values) > 900
+
+    def test_sequential_is_sorted_and_spans(self):
+        values = sequential_values(50, max_value=980)
+        assert values == sorted(values)
+        assert values[0] == 0 and values[-1] == 980
+
+    def test_all_equal(self):
+        values = all_equal_values(30, max_value=100)
+        assert len(set(values)) == 1
+
+    def test_zipf_is_duplicate_heavy(self):
+        values = zipf_values(1000, max_value=10_000, distinct=64, seed=2)
+        assert len(set(values)) <= 64
+        most_common_count = max(values.count(v) for v in set(values))
+        assert most_common_count > 1000 / 64  # head is heavier than uniform
+
+    def test_zipf_exponent_validated(self):
+        with pytest.raises(ConfigurationError):
+            zipf_values(10, exponent=0)
+
+    def test_clustered_concentration(self):
+        values = clustered_values(500, max_value=100_000, clusters=3, seed=3)
+        # Values should occupy only a small fraction of the domain.
+        assert len(set(value // 1000 for value in values)) < 30
+
+    def test_bimodal_has_two_modes(self):
+        values = bimodal_values(1000, max_value=10_000, seed=4)
+        low = sum(1 for value in values if value < 2_000)
+        high = sum(1 for value in values if value > 8_000)
+        assert low + high == len(values)
+        assert low > 300 and high > 300
+
+    def test_adversarial_dense_centre(self):
+        values = adversarial_near_median_values(1000, max_value=100_000, seed=5)
+        centre_band = sum(1 for value in values if abs(value - 50_000) <= 50)
+        assert centre_band > 300
+
+    def test_correlated_field_neighbours_are_similar(self):
+        side = 20
+        values = correlated_field_values(side * side, max_value=10_000, seed=6)
+        horizontal_diffs = []
+        for row in range(side):
+            for col in range(side - 1):
+                horizontal_diffs.append(
+                    abs(values[row * side + col] - values[row * side + col + 1])
+                )
+        random_pairs = [abs(values[i] - values[-(i + 1)]) for i in range(side)]
+        assert sum(horizontal_diffs) / len(horizontal_diffs) < sum(random_pairs) / len(
+            random_pairs
+        )
