@@ -1,0 +1,102 @@
+"""Continuous monitoring: incremental updates vs per-epoch recomputation.
+
+Run with::
+
+    python examples/continuous_monitoring.py
+
+A 100-node sensor field reports a slowly drifting temperature-like reading.
+The root keeps four standing queries alive — COUNT, MEDIAN, COUNT DISTINCT
+and a threshold COUNTP — and the example drives the same stream through
+
+* the incremental :class:`~repro.streaming.ContinuousQueryEngine`, where each
+  subtree caches its summary and only retransmits ε-significant deltas, and
+* the naive :class:`~repro.streaming.RecomputeEngine`, which re-runs a full
+  convergecast every epoch (what repeating the one-shot protocols would do),
+
+then prints the per-epoch answers next to the ground truth, and the total
+bits/energy both engines spent — the incremental engine wins by an order of
+magnitude on total bits while staying inside the same ε-approximation.
+"""
+
+from __future__ import annotations
+
+from repro import (
+    ContinuousQueryEngine,
+    CountQuery,
+    DistinctCountQuery,
+    MedianQuery,
+    PredicateCountQuery,
+    RecomputeEngine,
+    SensorNetwork,
+    reference_median,
+)
+from repro.analysis.report import format_table
+from repro.workloads import DriftStream
+
+NUM_NODES = 100
+EPOCHS = 60
+DOMAIN = 1 << 16
+EPSILON = 0.1
+
+
+def build_engine(cls, **kwargs):
+    network = SensorNetwork.from_items([0] * NUM_NODES, topology="grid")
+    network.clear_items()
+    engine = cls(network, **kwargs)
+    engine.register("count", CountQuery())
+    engine.register("median", MedianQuery(universe_size=DOMAIN + 1, compression=256))
+    engine.register("distinct", DistinctCountQuery(num_registers=64))
+    engine.register(
+        "hot", PredicateCountQuery(lambda reading: reading > DOMAIN // 2, "x > mid")
+    )
+    return engine
+
+
+def main() -> None:
+    incremental = build_engine(ContinuousQueryEngine, epsilon=EPSILON)
+    naive = build_engine(RecomputeEngine)
+    # Two same-seed streams so both engines see identical readings.
+    stream_a = DriftStream(NUM_NODES, max_value=DOMAIN, seed=42, drift_fraction=0.05)
+    stream_b = DriftStream(NUM_NODES, max_value=DOMAIN, seed=42, drift_fraction=0.05)
+
+    rows = []
+    for epoch in range(EPOCHS):
+        updates_a = stream_a.initial() if epoch == 0 else stream_a.step(epoch)
+        updates_b = stream_b.initial() if epoch == 0 else stream_b.step(epoch)
+        record = incremental.advance_epoch(updates_a)
+        naive_record = naive.advance_epoch(updates_b)
+        if epoch % 10 == 0 or epoch == EPOCHS - 1:
+            items = incremental.network.all_items()
+            rows.append([
+                epoch,
+                record.answers["median"],
+                reference_median(items),
+                record.answers["count"],
+                round(record.answers["distinct"]),
+                record.bits,
+                naive_record.bits,
+            ])
+
+    print(format_table(
+        ["epoch", "median (stream)", "median (truth)", "count",
+         "distinct~", "bits (incr)", "bits (naive)"],
+        rows,
+        title=f"Continuous monitoring of a drifting field (N = {NUM_NODES})",
+    ))
+
+    inc_trace, naive_trace = incremental.trace, naive.trace
+    savings = naive_trace.total_bits / inc_trace.total_bits
+    print()
+    print(f"total bits, incremental : {inc_trace.total_bits:>10,}")
+    print(f"total bits, recompute   : {naive_trace.total_bits:>10,}")
+    print(f"savings factor          : {savings:>10.1f}x")
+    print(f"energy, incremental (mJ): {inc_trace.total_energy_nj / 1e6:>10.2f}")
+    print(f"energy, recompute   (mJ): {naive_trace.total_energy_nj / 1e6:>10.2f}")
+    print()
+    print("Per-query guaranteed absolute error at the current scale:")
+    for name, bound in sorted(incremental.error_bounds().items()):
+        print(f"  {name:<9} ±{bound:.1f}")
+
+
+if __name__ == "__main__":
+    main()

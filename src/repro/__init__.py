@@ -16,10 +16,25 @@ Quick start::
     result = DeterministicMedianProtocol().run(network)
     print(result.value.median, result.max_node_bits)
 
+For continuous monitoring — the same aggregates maintained every epoch over
+drifting readings — use the streaming engine::
+
+    from repro import ContinuousQueryEngine, MedianQuery, CountQuery, run_stream
+    from repro.workloads import DriftStream
+
+    stream = DriftStream(num_nodes=100, seed=0)
+    network = SensorNetwork.from_items([0] * 100, topology="grid")
+    engine = ContinuousQueryEngine(network, epsilon=0.1)
+    engine.register("median", MedianQuery(universe_size=1 << 16))
+    engine.register("count", CountQuery())
+    trace = run_stream(engine, stream, epochs=50)
+    print(engine.answers(), trace.total_bits)
+
 The top-level namespace re-exports the pieces most users need: the network
 simulator, the deterministic and approximate median protocols, the primitive
-aggregation protocols and the verification helpers.  Substrates (sketches,
-baselines, workloads, the experiment harness) live in their own subpackages.
+aggregation protocols, the continuous-query streaming engine and the
+verification helpers.  Substrates (sketches, baselines, workloads, the
+experiment harness) live in their own subpackages.
 """
 
 from repro.core import (
@@ -55,8 +70,20 @@ from repro.protocols import (
     MinProtocol,
     SumProtocol,
 )
+from repro.streaming import (
+    ContinuousQueryEngine,
+    CountQuery,
+    DistinctCountQuery,
+    EpochRecord,
+    MedianQuery,
+    PredicateCountQuery,
+    QuantileQuery,
+    RecomputeEngine,
+    StreamingTrace,
+    run_stream,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "ApproximateMedianProtocol",
@@ -88,5 +115,15 @@ __all__ = [
     "MaxProtocol",
     "MinProtocol",
     "SumProtocol",
+    "ContinuousQueryEngine",
+    "RecomputeEngine",
+    "run_stream",
+    "CountQuery",
+    "PredicateCountQuery",
+    "QuantileQuery",
+    "MedianQuery",
+    "DistinctCountQuery",
+    "EpochRecord",
+    "StreamingTrace",
     "__version__",
 ]

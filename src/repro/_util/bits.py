@@ -62,6 +62,23 @@ def varint_bits(value: int) -> int:
     return 2 * width - 1
 
 
+def signed_varint_bits(value: int) -> int:
+    """Return the length of a self-delimiting encoding of a *signed* value.
+
+    Deltas between successive summaries can be negative, so they are zigzag
+    mapped (``v ≥ 0 → 2v``, ``v < 0 → −2v − 1``) onto the non-negative
+    integers and then charged at :func:`varint_bits`.  Small drifts in either
+    direction therefore cost few bits — the property the streaming engine's
+    delta encoding relies on.
+
+    >>> signed_varint_bits(0), signed_varint_bits(1), signed_varint_bits(-1)
+    (1, 3, 1)
+    """
+    require_integer(value, "value")
+    zigzag = 2 * value if value >= 0 else -2 * value - 1
+    return varint_bits(zigzag)
+
+
 def encoded_int_bits(value: int, max_value: int | None = None) -> int:
     """Return the cost in bits of sending ``value``.
 

@@ -30,6 +30,7 @@ from repro.core.median import DeterministicMedianProtocol
 from repro.core.order_statistics import DeterministicOrderStatisticProtocol
 from repro.core.rep_count import RepetitionPolicy
 from repro.distinct import ApproxDistinctCountProtocol, ExactDistinctCountProtocol
+from repro.core.definitions import rank
 from repro.network.simulator import SensorNetwork
 from repro.protocols.aggregates import (
     AverageProtocol,
@@ -39,7 +40,17 @@ from repro.protocols.aggregates import (
     SumProtocol,
 )
 from repro.protocols.apx_count import ApproxCountProtocol
+from repro.streaming.engine import ContinuousQueryEngine
+from repro.streaming.queries import (
+    CountQuery,
+    DistinctCountQuery,
+    MedianQuery,
+    PredicateCountQuery,
+)
+from repro.streaming.recompute import RecomputeEngine
+from repro.streaming.trace import StreamingTrace
 from repro.workloads.generators import generate_workload
+from repro.workloads.streams import make_stream
 
 
 def default_domain(num_items: int) -> int:
@@ -518,6 +529,125 @@ def run_repetition_ablation(
             )
         )
     return summaries
+
+
+# --------------------------------------------------------------------------- #
+# E10 — continuous queries: incremental vs per-epoch recomputation
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class StreamingComparison:
+    """Outcome of driving both streaming engines through the same stream."""
+
+    workload: str
+    num_nodes: int
+    epochs: int
+    epsilon: float
+    incremental_bits: int
+    recompute_bits: int
+    savings_factor: float
+    max_count_error: float
+    max_median_rank_error: float
+    count_error_budget: float
+    median_rank_error_budget: float
+    incremental_trace: StreamingTrace
+    recompute_trace: StreamingTrace
+
+
+def _standing_queries(domain: int, compression: int, num_registers: int, seed: int):
+    return {
+        "count": CountQuery(),
+        "median": MedianQuery(universe_size=domain + 1, compression=compression),
+        "distinct": DistinctCountQuery(num_registers=num_registers, salt=seed),
+        "below_mid": PredicateCountQuery(
+            lambda item, mid=domain // 2: item < mid, description=f"x < {domain // 2}"
+        ),
+    }
+
+
+def run_streaming_comparison(
+    num_nodes: int = 100,
+    epochs: int = 50,
+    workload: str = "drift",
+    epsilon: float = 0.1,
+    topology: str = "grid",
+    domain_max: int | None = None,
+    compression: int = 256,
+    num_registers: int = 64,
+    seed: int = 0,
+    **stream_params,
+) -> StreamingComparison:
+    """Drive the incremental and naive engines through one identical stream.
+
+    Both engines register the same four standing queries (COUNT, MEDIAN,
+    COUNT DISTINCT, COUNTP) over networks with identical topology and
+    readings; two same-seed stream instances guarantee identical inputs.  Per
+    epoch the incremental answers are checked against the ground truth, so
+    the returned maxima certify the ε-approximation empirically.
+    """
+    domain = domain_max if domain_max is not None else 1 << 16
+    builds = []
+    for _ in range(2):
+        network = SensorNetwork.from_items(
+            [0] * num_nodes, topology=topology, seed=seed
+        )
+        network.clear_items()
+        builds.append(network)
+    incremental_net, recompute_net = builds
+    incremental = ContinuousQueryEngine(incremental_net, epsilon=epsilon)
+    naive = RecomputeEngine(recompute_net)
+    for name, query in _standing_queries(domain, compression, num_registers, seed).items():
+        incremental.register(name, query)
+    for name, query in _standing_queries(domain, compression, num_registers, seed).items():
+        naive.register(name, query)
+
+    stream_a = make_stream(
+        workload, num_nodes, max_value=domain, seed=seed, **stream_params
+    )
+    stream_b = make_stream(
+        workload, num_nodes, max_value=domain, seed=seed, **stream_params
+    )
+    max_count_error = 0.0
+    max_rank_error = 0.0
+    count_scale = 1.0
+    median_query = incremental.queries()["median"]
+    for epoch in range(epochs):
+        updates_a = stream_a.initial() if epoch == 0 else stream_a.step(epoch)
+        updates_b = stream_b.initial() if epoch == 0 else stream_b.step(epoch)
+        record = incremental.advance_epoch(updates_a)
+        naive.advance_epoch(updates_b)
+        items = incremental_net.all_items()
+        if not items:
+            continue
+        true_count = len(items)
+        count_scale = max(count_scale, float(true_count))
+        max_count_error = max(
+            max_count_error, abs(record.answers["count"] - true_count)
+        )
+        median_answer = record.answers["median"]
+        if median_answer is not None:
+            # Absolute rank error of the reported median, in items.
+            median_rank = rank(items, median_answer) + 0.5 * sum(
+                1 for item in items if item == median_answer
+            )
+            max_rank_error = max(max_rank_error, abs(median_rank - true_count / 2.0))
+
+    incremental_bits = incremental.trace.total_bits
+    recompute_bits = naive.trace.total_bits
+    return StreamingComparison(
+        workload=workload,
+        num_nodes=num_nodes,
+        epochs=epochs,
+        epsilon=epsilon,
+        incremental_bits=incremental_bits,
+        recompute_bits=recompute_bits,
+        savings_factor=recompute_bits / max(1, incremental_bits),
+        max_count_error=max_count_error,
+        max_median_rank_error=max_rank_error,
+        count_error_budget=epsilon * count_scale,
+        median_rank_error_budget=median_query.error_bound(epsilon, count_scale),
+        incremental_trace=incremental.trace,
+        recompute_trace=naive.trace,
+    )
 
 
 def run_degree_bound_ablation(

@@ -16,6 +16,10 @@ bit to the network's ledger:
   realised as a LogLog sketch merged up the tree.
 * :mod:`repro.protocols.gossip` — push-sum gossip aggregation, the non-tree
   substrate used by the gossip baseline (Kempe et al., cited as [6]).
+* :mod:`repro.protocols.epoch_convergecast` — the change-driven traversal the
+  continuous-query engine (:mod:`repro.streaming`) runs once per epoch: only
+  dirty subtrees participate, executed as synchronous rounds on
+  :class:`~repro.network.RoundEngine`.
 """
 
 from repro.protocols.aggregates import (
@@ -30,6 +34,7 @@ from repro.protocols.base import ProtocolResult
 from repro.protocols.broadcast import broadcast
 from repro.protocols.convergecast import convergecast
 from repro.protocols.countp import CountPredicateProtocol
+from repro.protocols.epoch_convergecast import EpochStats, epoch_convergecast
 from repro.protocols.gossip import PushSumGossip
 from repro.protocols.predicates import (
     AllItemsPredicate,
@@ -51,6 +56,8 @@ __all__ = [
     "broadcast",
     "convergecast",
     "CountPredicateProtocol",
+    "EpochStats",
+    "epoch_convergecast",
     "PushSumGossip",
     "AllItemsPredicate",
     "LessThanPredicate",

@@ -1,0 +1,101 @@
+"""Epoch-aware incremental convergecast.
+
+The one-shot :func:`~repro.protocols.convergecast.convergecast` walks the
+whole tree and every node transmits.  In steady-state continuous monitoring
+most subtrees are unchanged, so the streaming engine needs a traversal in
+which only *dirty* nodes (and their ancestors, transitively, until a node
+decides the change is too small to forward) participate.  This module
+provides that traversal, executed as synchronous rounds on
+:class:`~repro.network.RoundEngine`: a node at depth ``d`` acts in the round
+in which all of its children's updates (sent one round earlier) have been
+delivered, so one epoch costs at most ``deepest dirty depth + 1`` rounds and
+exactly one upward message per node that decides to retransmit.
+
+The traversal is policy-free: the per-node retransmit decision (including
+ε-suppression and delta sizing) is supplied by the caller as a ``decide``
+callback, which is how the streaming engine keeps all summary semantics in
+one place while this module owns scheduling and charging.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping
+
+from repro.network.scheduler import RoundEngine
+from repro.network.simulator import SensorNetwork
+
+# ``decide(node_id, child_updates)`` receives the payloads delivered by the
+# node's children this epoch (child id → payload) and returns either ``None``
+# (suppress: the parent keeps using the last transmitted summary) or a
+# ``(payload, size_bits)`` pair to forward to the parent.  It is called only
+# for *active* nodes: those that are dirty or received at least one update.
+DecideFn = Callable[[int, Mapping[int, Any]], "tuple[Any, int] | None"]
+
+
+@dataclass(frozen=True)
+class EpochStats:
+    """Traffic outcome of one epoch's incremental convergecast."""
+
+    rounds: int
+    activated: int
+    transmissions: int
+    suppressions: int
+
+
+def epoch_convergecast(
+    network: SensorNetwork,
+    dirty: set[int],
+    decide: DecideFn,
+    protocol: str = "epoch-convergecast",
+) -> EpochStats:
+    """Run one epoch of change-driven leaves-to-root aggregation.
+
+    ``dirty`` is the set of nodes whose local state changed this epoch; a node
+    outside it is still activated if a descendant's update reaches it.  When
+    nothing is dirty the traversal is skipped entirely and costs zero rounds,
+    zero bits — the property that makes steady-state epochs free.
+    """
+    if not dirty:
+        return EpochStats(rounds=0, activated=0, transmissions=0, suppressions=0)
+    tree = network.tree
+    deepest = max(tree.depth[node] for node in dirty)
+    received: dict[int, dict[int, Any]] = {}
+    counters = {"activated": 0, "transmissions": 0, "suppressions": 0}
+    current = {"round": 0}
+
+    def handler(
+        net: SensorNetwork, node_id: int, inbox: list[object]
+    ) -> dict[int, tuple[object, int]]:
+        for sender, payload in inbox:  # duplicated deliveries overwrite: idempotent
+            received.setdefault(node_id, {})[sender] = payload
+        depth = tree.depth[node_id]
+        if depth > deepest or deepest - depth != current["round"]:
+            return {}
+        updates = received.pop(node_id, {})
+        if node_id not in dirty and not updates:
+            return {}
+        counters["activated"] += 1
+        decision = decide(node_id, updates)
+        parent = tree.parent[node_id]
+        if parent is None:
+            return {}
+        if decision is None:
+            counters["suppressions"] += 1
+            return {}
+        payload, size_bits = decision
+        counters["transmissions"] += 1
+        return {parent: ((node_id, payload), size_bits)}
+
+    def advance(net: SensorNetwork, round_index: int) -> bool:
+        current["round"] = round_index + 1
+        return False
+
+    engine = RoundEngine(network, protocol_name=protocol)
+    result = engine.run(handler, max_rounds=deepest + 1, stop_condition=advance)
+    return EpochStats(
+        rounds=result.rounds_executed,
+        activated=counters["activated"],
+        transmissions=counters["transmissions"],
+        suppressions=counters["suppressions"],
+    )

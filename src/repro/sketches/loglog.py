@@ -126,6 +126,30 @@ class LogLogSketch:
         max_rank = int(math.ceil(math.log2(max(2, max_expected_count)))) + 4
         return self.num_registers * bit_width(max_rank)
 
+    def changed_registers(self, other: "LogLogSketch") -> int:
+        """Number of register positions where this sketch differs from ``other``."""
+        if other.num_registers != self.num_registers:
+            raise ValueError("cannot compare sketches with different register counts")
+        return sum(1 for a, b in zip(self.registers, other.registers) if a != b)
+
+    def delta_bits(
+        self, previous: "LogLogSketch", max_expected_count: int = 1 << 30
+    ) -> int:
+        """Bits to transmit this sketch to a receiver holding ``previous``.
+
+        Registers only ever grow, so shipping the (index, new value) pairs of
+        the changed registers — plus a small count header — reconstructs the
+        sketch exactly.  Under a slowly-changing stream most registers are
+        already saturated and the delta is a handful of bits, versus the ``m``
+        registers :meth:`serialized_bits` charges for a full retransmission.
+        """
+        index_bits = bit_width(max(1, self.num_registers - 1))
+        max_rank = int(math.ceil(math.log2(max(2, max_expected_count)))) + 4
+        register_bits = bit_width(max_rank)
+        changed = self.changed_registers(previous)
+        # The count header must be able to say "all m registers changed".
+        return changed * (index_bits + register_bits) + bit_width(self.num_registers)
+
     def copy(self) -> "LogLogSketch":
         clone = LogLogSketch(num_registers=self.num_registers, salt=self.salt)
         clone.registers = list(self.registers)

@@ -147,6 +147,49 @@ class QDigest:
     def median(self) -> int:
         return self.quantile(0.5)
 
+    # ------------------------------------------------------------------ #
+    # Delta encoding (streaming)
+    # ------------------------------------------------------------------ #
+    def count_distance(self, other: "QDigest") -> int:
+        """L1 distance between the stored counts of two digests.
+
+        Summing ``|c_self(v) − c_other(v)|`` over the union of stored dyadic
+        nodes upper-bounds how much any rank estimate can move when one digest
+        is substituted for the other, which is exactly the quantity the
+        streaming engine's ε-suppression rule must bound.
+        """
+        if other.universe_size != self.universe_size:
+            raise ConfigurationError(
+                "cannot compare digests over different universes"
+            )
+        keys = set(self.counts) | set(other.counts)
+        return sum(
+            abs(self.counts.get(key, 0) - other.counts.get(key, 0)) for key in keys
+        )
+
+    def changed_entries(self, other: "QDigest") -> int:
+        """Number of dyadic nodes whose stored count differs from ``other``'s."""
+        if other.universe_size != self.universe_size:
+            raise ConfigurationError(
+                "cannot compare digests over different universes"
+            )
+        keys = set(self.counts) | set(other.counts)
+        return sum(
+            1 for key in keys if self.counts.get(key, 0) != other.counts.get(key, 0)
+        )
+
+    def delta_bits(self, previous: "QDigest") -> int:
+        """Bits to transmit this digest to a receiver holding ``previous``.
+
+        Only the (node id, new count) pairs that changed are shipped, plus one
+        count-sized field carrying the new total; unchanged entries are free.
+        This is what makes per-epoch retransmission proportional to *change*
+        rather than summary size.
+        """
+        node_id_bits = fixed_width_bits(2 * self._padded_universe)
+        count_bits = fixed_width_bits(max(self.total, previous.total, 1))
+        return self.changed_entries(previous) * (node_id_bits + count_bits) + count_bits
+
     @property
     def size(self) -> int:
         """Number of stored (range, count) pairs."""

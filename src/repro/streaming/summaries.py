@@ -1,0 +1,199 @@
+"""Mergeable, delta-encodable summaries for standing queries.
+
+A summary is the per-subtree partial state a standing query maintains: the
+thing a node caches, compares against what it last transmitted, and — when
+the change is large enough — re-sends to its parent.  Every summary supports
+the same small protocol:
+
+``merge``
+    Combine two summaries into the summary of the union (associative and
+    commutative, as convergecast requires).
+``distance``
+    A non-negative change measure, chosen per summary type so that replacing
+    one summary by another at distance ``δ`` perturbs the root answer by at
+    most ``δ`` (in the query's answer units).  The engine's ε-suppression
+    rule compares this distance against a per-node slack.  A summary whose
+    substitution effect cannot be bounded additively (the LogLog sketch,
+    whose max-merge amplifies local drift) reports ∞ for any change and
+    thereby opts out of suppression, keeping the contract vacuously true.
+``same_as``
+    Exact equality, used for zero-cost dirty detection.
+``serialized_bits`` / ``delta_bits``
+    Wire cost of a full transmission versus a delta against the receiver's
+    cached copy.  Deltas are what make steady-state traffic proportional to
+    change instead of summary size.
+
+The heavy lifting is delegated to the existing sketches
+(:class:`~repro.sketches.QDigest`, :class:`~repro.sketches.LogLogSketch`);
+this module only wraps them behind the uniform streaming interface.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterable
+
+from repro._util.bits import signed_varint_bits, varint_bits
+from repro.exceptions import ConfigurationError
+from repro.sketches.loglog import LogLogSketch
+from repro.sketches.qdigest import QDigest
+
+
+class StreamSummary(abc.ABC):
+    """Interface shared by all streaming summaries."""
+
+    @abc.abstractmethod
+    def merge(self, other: "StreamSummary") -> "StreamSummary":
+        """Return the summary of the union of the two summarised multisets."""
+
+    @abc.abstractmethod
+    def distance(self, other: "StreamSummary") -> float:
+        """Change measure bounding the root-answer perturbation (see module doc)."""
+
+    @abc.abstractmethod
+    def same_as(self, other: "StreamSummary") -> bool:
+        """Exact state equality (stronger than ``distance() == 0``)."""
+
+    @abc.abstractmethod
+    def serialized_bits(self) -> int:
+        """Wire cost of transmitting the summary from scratch."""
+
+    @abc.abstractmethod
+    def delta_bits(self, previous: "StreamSummary") -> int:
+        """Wire cost of transmitting against a receiver caching ``previous``."""
+
+
+class CountSummary(StreamSummary):
+    """An exact item count — the summary behind COUNT and predicate counts."""
+
+    __slots__ = ("count",)
+
+    def __init__(self, count: int = 0) -> None:
+        if count < 0:
+            raise ConfigurationError(f"count must be non-negative, got {count}")
+        self.count = count
+
+    def merge(self, other: "CountSummary") -> "CountSummary":
+        return CountSummary(self.count + other.count)
+
+    def distance(self, other: "CountSummary") -> float:
+        return abs(self.count - other.count)
+
+    def same_as(self, other: "CountSummary") -> bool:
+        return self.count == other.count
+
+    def serialized_bits(self) -> int:
+        return varint_bits(self.count) + 1
+
+    def delta_bits(self, previous: "CountSummary") -> int:
+        return signed_varint_bits(self.count - previous.count) + 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debug convenience
+        return f"CountSummary({self.count})"
+
+
+class QuantileSummary(StreamSummary):
+    """A q-digest wrapper: rank queries over the subtree's value multiset.
+
+    The distance is the L1 difference of the stored dyadic counts, which
+    upper-bounds the rank shift any substitution can cause — so a node that
+    suppresses at distance ``≤ slack`` perturbs every rank estimate at the
+    root by at most ``slack`` items.
+    """
+
+    __slots__ = ("digest",)
+
+    def __init__(self, digest: QDigest) -> None:
+        self.digest = digest
+
+    @classmethod
+    def from_values(
+        cls, values: Iterable[int], universe_size: int, compression: int = 64
+    ) -> "QuantileSummary":
+        return cls(
+            QDigest.from_values(
+                values, universe_size=universe_size, compression=compression
+            )
+        )
+
+    def merge(self, other: "QuantileSummary") -> "QuantileSummary":
+        return QuantileSummary(self.digest.merge(other.digest))
+
+    def distance(self, other: "QuantileSummary") -> float:
+        return self.digest.count_distance(other.digest)
+
+    def same_as(self, other: "QuantileSummary") -> bool:
+        return (
+            self.digest.total == other.digest.total
+            and self.digest.counts == other.digest.counts
+        )
+
+    def serialized_bits(self) -> int:
+        return self.digest.serialized_bits()
+
+    def delta_bits(self, previous: "QuantileSummary") -> int:
+        return self.digest.delta_bits(previous.digest)
+
+    @property
+    def total(self) -> int:
+        return self.digest.total
+
+    def __repr__(self) -> str:  # pragma: no cover - debug convenience
+        return f"QuantileSummary(total={self.digest.total}, size={self.digest.size})"
+
+
+class DistinctSummary(StreamSummary):
+    """A LogLog wrapper: approximate count-distinct over the subtree.
+
+    Unlike the count and quantile summaries, a register change can never be
+    suppressed: the root merges registers by max, so holding back even a
+    small local-estimate shift can move the root estimate *multiplicatively*
+    (and two sketches may estimate the same cardinality while summarising
+    different value sets, corrupting deduplication higher up).  The distance
+    is therefore 0 for identical registers and ∞ otherwise — the root sketch
+    is always exact with respect to the nodes' current readings, and the only
+    answer error is the sketch's own σ ≈ 1.30/√m.  Deltas stay cheap because
+    a reading change typically moves one or two registers.
+    """
+
+    __slots__ = ("sketch", "max_expected_count")
+
+    def __init__(self, sketch: LogLogSketch, max_expected_count: int = 1 << 30) -> None:
+        self.sketch = sketch
+        self.max_expected_count = max_expected_count
+
+    @classmethod
+    def from_values(
+        cls,
+        values: Iterable[int],
+        num_registers: int = 64,
+        salt: int = 0,
+        max_expected_count: int = 1 << 30,
+    ) -> "DistinctSummary":
+        sketch = LogLogSketch(num_registers=num_registers, salt=salt)
+        for value in values:
+            sketch.add_item(value)
+        return cls(sketch, max_expected_count=max_expected_count)
+
+    def merge(self, other: "DistinctSummary") -> "DistinctSummary":
+        return DistinctSummary(
+            self.sketch.merge(other.sketch),
+            max_expected_count=max(self.max_expected_count, other.max_expected_count),
+        )
+
+    def distance(self, other: "DistinctSummary") -> float:
+        if self.sketch.registers == other.sketch.registers:
+            return 0.0
+        return float("inf")
+
+    def same_as(self, other: "DistinctSummary") -> bool:
+        return self.sketch.registers == other.sketch.registers
+
+    def serialized_bits(self) -> int:
+        return self.sketch.serialized_bits(self.max_expected_count)
+
+    def delta_bits(self, previous: "DistinctSummary") -> int:
+        return self.sketch.delta_bits(previous.sketch, self.max_expected_count)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug convenience
+        return f"DistinctSummary(estimate={self.sketch.estimate():.1f})"

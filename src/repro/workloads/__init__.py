@@ -1,4 +1,11 @@
-"""Workload (input-data) generators used by the tests, examples and benchmarks."""
+"""Workload generators: one-shot snapshots and time-evolving streams.
+
+* :mod:`repro.workloads.generators` — single-snapshot value distributions
+  used by the one-shot protocols' tests, examples and benchmarks.
+* :mod:`repro.workloads.streams` — stateful per-epoch update processes
+  (drift, burst, churn, seasonal) that drive the continuous-query engine in
+  :mod:`repro.streaming`.
+"""
 
 from repro.workloads.generators import (
     WORKLOAD_GENERATORS,
@@ -12,6 +19,15 @@ from repro.workloads.generators import (
     uniform_values,
     zipf_values,
 )
+from repro.workloads.streams import (
+    STREAM_WORKLOADS,
+    BurstStream,
+    ChurnStream,
+    DriftStream,
+    SeasonalStream,
+    StreamWorkload,
+    make_stream,
+)
 
 __all__ = [
     "WORKLOAD_GENERATORS",
@@ -24,4 +40,11 @@ __all__ = [
     "sequential_values",
     "uniform_values",
     "zipf_values",
+    "STREAM_WORKLOADS",
+    "StreamWorkload",
+    "DriftStream",
+    "BurstStream",
+    "ChurnStream",
+    "SeasonalStream",
+    "make_stream",
 ]

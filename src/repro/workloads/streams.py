@@ -1,0 +1,306 @@
+"""Time-evolving (streaming) workloads.
+
+The one-shot generators in :mod:`repro.workloads.generators` produce a single
+snapshot of readings.  Continuous monitoring — the regime the streaming engine
+targets — needs readings that *evolve* epoch by epoch, so each class below is
+a stateful stream: :meth:`~StreamWorkload.initial` yields the epoch-0
+assignment and :meth:`~StreamWorkload.step` yields only the nodes whose
+readings changed in the current epoch (an empty item list marks a node that
+went offline).  Four qualitatively different dynamics are provided:
+
+* ``drift`` — each epoch a small fraction of sensors take a bounded random
+  walk step, the classic slowly-varying temperature/light trace;
+* ``burst`` — long quiet stretches punctuated by a correlated jump of a
+  node subset (an event passing through the field), stressing the engine's
+  ability to fall back to near-recompute traffic during the burst;
+* ``churn`` — sensors fail and rejoin with fresh readings, changing the
+  *population* rather than just the values (COUNT answers must track it);
+* ``seasonal`` — every reading follows a shared sinusoid plus per-node phase,
+  so *all* nodes change a little every epoch, the worst case for per-node
+  change detection and the best case for delta encoding.
+
+All streams are deterministic in their ``seed``; values are non-negative
+integers bounded by ``max_value``, matching the one-shot generators.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+
+from repro._util.randomness import make_rng
+from repro._util.validation import require_non_negative, require_positive, require_probability
+from repro.exceptions import ConfigurationError
+
+
+class StreamWorkload(abc.ABC):
+    """A deterministic per-epoch update process over ``num_nodes`` sensors."""
+
+    name = "stream"
+
+    def __init__(self, num_nodes: int, max_value: int = 1 << 16, seed: int | None = 0) -> None:
+        require_positive(num_nodes, "num_nodes")
+        require_non_negative(max_value, "max_value")
+        self.num_nodes = num_nodes
+        self.max_value = max_value
+        self.seed = seed
+        self._rng = make_rng(seed)
+
+    def _clamp(self, value: float) -> int:
+        return max(0, min(self.max_value, int(round(value))))
+
+    @abc.abstractmethod
+    def initial(self) -> dict[int, list[int]]:
+        """The epoch-0 reading of every node (node id → item list)."""
+
+    @abc.abstractmethod
+    def step(self, epoch: int) -> dict[int, list[int]]:
+        """Advance one epoch; return only the nodes whose readings changed.
+
+        An empty list means the node currently holds no reading (offline).
+        ``epoch`` is informational — streams advance their own state on every
+        call, so :meth:`step` must be called once per epoch, in order.
+        """
+
+
+class DriftStream(StreamWorkload):
+    """A fraction of sensors take a small bounded random-walk step each epoch."""
+
+    name = "drift"
+
+    def __init__(
+        self,
+        num_nodes: int,
+        max_value: int = 1 << 16,
+        seed: int | None = 0,
+        drift_fraction: float = 0.05,
+        step_fraction: float = 0.02,
+    ) -> None:
+        super().__init__(num_nodes, max_value=max_value, seed=seed)
+        self.drift_fraction = require_probability(drift_fraction, "drift_fraction")
+        if step_fraction <= 0:
+            raise ConfigurationError(
+                f"step_fraction must be positive, got {step_fraction}"
+            )
+        self.step_fraction = step_fraction
+        self._values: list[int] = []
+
+    def initial(self) -> dict[int, list[int]]:
+        self._values = [
+            self._rng.randint(0, self.max_value) for _ in range(self.num_nodes)
+        ]
+        return {node: [value] for node, value in enumerate(self._values)}
+
+    def step(self, epoch: int) -> dict[int, list[int]]:
+        del epoch
+        sigma = self.step_fraction * self.max_value
+        updates: dict[int, list[int]] = {}
+        for node in range(self.num_nodes):
+            if self._rng.random() >= self.drift_fraction:
+                continue
+            moved = self._clamp(self._values[node] + self._rng.gauss(0.0, sigma))
+            if moved != self._values[node]:
+                self._values[node] = moved
+                updates[node] = [moved]
+        return updates
+
+
+class BurstStream(StreamWorkload):
+    """Quiet background with periodic correlated jumps of a node subset.
+
+    Every ``burst_period`` epochs a fresh subset of ``burst_fraction`` of the
+    nodes jumps up by ``burst_offset_fraction`` of the range, stays elevated
+    for ``burst_length`` epochs and then returns to its base reading.
+    """
+
+    name = "burst"
+
+    def __init__(
+        self,
+        num_nodes: int,
+        max_value: int = 1 << 16,
+        seed: int | None = 0,
+        burst_period: int = 10,
+        burst_length: int = 3,
+        burst_fraction: float = 0.2,
+        burst_offset_fraction: float = 0.3,
+    ) -> None:
+        super().__init__(num_nodes, max_value=max_value, seed=seed)
+        require_positive(burst_period, "burst_period")
+        require_positive(burst_length, "burst_length")
+        if burst_length >= burst_period:
+            raise ConfigurationError("burst_length must be smaller than burst_period")
+        self.burst_period = burst_period
+        self.burst_length = burst_length
+        self.burst_fraction = require_probability(burst_fraction, "burst_fraction")
+        self.burst_offset_fraction = require_probability(
+            burst_offset_fraction, "burst_offset_fraction"
+        )
+        self._base: list[int] = []
+        self._burst_set: set[int] = set()
+        self._clock = 0
+
+    def initial(self) -> dict[int, list[int]]:
+        self._base = [
+            self._rng.randint(0, self.max_value) for _ in range(self.num_nodes)
+        ]
+        self._clock = 0
+        return {node: [value] for node, value in enumerate(self._base)}
+
+    def step(self, epoch: int) -> dict[int, list[int]]:
+        del epoch
+        self._clock += 1
+        phase = self._clock % self.burst_period
+        updates: dict[int, list[int]] = {}
+        if phase == 0:
+            # Burst begins: pick a fresh subset and lift it.
+            count = max(1, int(self.burst_fraction * self.num_nodes))
+            self._burst_set = set(self._rng.sample(range(self.num_nodes), count))
+            offset = self.burst_offset_fraction * self.max_value
+            for node in sorted(self._burst_set):
+                updates[node] = [self._clamp(self._base[node] + offset)]
+        elif phase == self.burst_length and self._burst_set:
+            # Burst ends: everyone returns to base.
+            for node in sorted(self._burst_set):
+                updates[node] = [self._base[node]]
+            self._burst_set = set()
+        return updates
+
+
+class ChurnStream(StreamWorkload):
+    """Sensors fail and rejoin: population changes dominate value changes.
+
+    Each epoch every node independently toggles with probability
+    ``churn_rate``: an online node goes offline (its item list becomes empty)
+    and an offline node rejoins with a fresh uniform reading.  Node 0 — the
+    root in the default network construction — is pinned online so the query
+    engine always has an answering node.
+    """
+
+    name = "churn"
+
+    def __init__(
+        self,
+        num_nodes: int,
+        max_value: int = 1 << 16,
+        seed: int | None = 0,
+        churn_rate: float = 0.05,
+    ) -> None:
+        super().__init__(num_nodes, max_value=max_value, seed=seed)
+        self.churn_rate = require_probability(churn_rate, "churn_rate")
+        self._values: list[int] = []
+        self._online: list[bool] = []
+
+    def initial(self) -> dict[int, list[int]]:
+        self._values = [
+            self._rng.randint(0, self.max_value) for _ in range(self.num_nodes)
+        ]
+        self._online = [True] * self.num_nodes
+        return {node: [value] for node, value in enumerate(self._values)}
+
+    def step(self, epoch: int) -> dict[int, list[int]]:
+        del epoch
+        updates: dict[int, list[int]] = {}
+        for node in range(self.num_nodes):
+            if self._rng.random() >= self.churn_rate:
+                continue
+            if node == 0:
+                continue  # the root stays online
+            if self._online[node]:
+                self._online[node] = False
+                updates[node] = []
+            else:
+                self._online[node] = True
+                self._values[node] = self._rng.randint(0, self.max_value)
+                updates[node] = [self._values[node]]
+        return updates
+
+    def online_count(self) -> int:
+        """Number of currently-online sensors (ground truth for tests)."""
+        return sum(self._online)
+
+
+class SeasonalStream(StreamWorkload):
+    """Every reading follows a shared sinusoid with per-node phase and noise.
+
+    All nodes move a little every epoch — dense small changes, the regime
+    where delta encoding (not change suppression) carries the savings.
+    """
+
+    name = "seasonal"
+
+    def __init__(
+        self,
+        num_nodes: int,
+        max_value: int = 1 << 16,
+        seed: int | None = 0,
+        period: int = 24,
+        amplitude_fraction: float = 0.1,
+        noise_fraction: float = 0.005,
+    ) -> None:
+        super().__init__(num_nodes, max_value=max_value, seed=seed)
+        require_positive(period, "period")
+        self.period = period
+        self.amplitude_fraction = require_probability(
+            amplitude_fraction, "amplitude_fraction"
+        )
+        self.noise_fraction = require_probability(noise_fraction, "noise_fraction")
+        self._base: list[int] = []
+        self._phase: list[float] = []
+        self._values: list[int] = []
+        self._clock = 0
+
+    def _reading(self, node: int) -> int:
+        wave = math.sin(2.0 * math.pi * (self._clock / self.period + self._phase[node]))
+        noise = self._rng.gauss(0.0, self.noise_fraction * self.max_value)
+        return self._clamp(
+            self._base[node] + self.amplitude_fraction * self.max_value * wave + noise
+        )
+
+    def initial(self) -> dict[int, list[int]]:
+        margin = int(self.amplitude_fraction * self.max_value)
+        self._base = [
+            self._rng.randint(margin, max(margin, self.max_value - margin))
+            for _ in range(self.num_nodes)
+        ]
+        self._phase = [self._rng.random() for _ in range(self.num_nodes)]
+        self._clock = 0
+        self._values = [self._reading(node) for node in range(self.num_nodes)]
+        return {node: [value] for node, value in enumerate(self._values)}
+
+    def step(self, epoch: int) -> dict[int, list[int]]:
+        del epoch
+        self._clock += 1
+        updates: dict[int, list[int]] = {}
+        for node in range(self.num_nodes):
+            reading = self._reading(node)
+            if reading != self._values[node]:
+                self._values[node] = reading
+                updates[node] = [reading]
+        return updates
+
+
+STREAM_WORKLOADS: dict[str, type[StreamWorkload]] = {
+    DriftStream.name: DriftStream,
+    BurstStream.name: BurstStream,
+    ChurnStream.name: ChurnStream,
+    SeasonalStream.name: SeasonalStream,
+}
+"""Name → stream class map used by the experiment harness and the benchmarks."""
+
+
+def make_stream(
+    name: str,
+    num_nodes: int,
+    max_value: int = 1 << 16,
+    seed: int | None = 0,
+    **params,
+) -> StreamWorkload:
+    """Instantiate a named stream workload."""
+    if name not in STREAM_WORKLOADS:
+        raise ConfigurationError(
+            f"unknown stream workload {name!r}; known: {sorted(STREAM_WORKLOADS)}"
+        )
+    return STREAM_WORKLOADS[name](
+        num_nodes, max_value=max_value, seed=seed, **params
+    )

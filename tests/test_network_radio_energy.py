@@ -6,6 +6,9 @@ from repro.exceptions import DeliveryError
 from repro.network.accounting import CommunicationLedger
 from repro.network.energy import EnergyModel
 from repro.network.radio import DuplicatingRadio, LossyRadio, ReliableRadio
+from repro.network.simulator import SensorNetwork
+from repro.network.topology import line_topology
+from repro.protocols.aggregates import CountProtocol
 
 
 class TestReliableRadio:
@@ -51,6 +54,65 @@ class TestLossyRadio:
         radio.reset()
         second = [radio.transmit(0, 1).attempts for _ in range(20)]
         assert first == second
+
+
+class TestRadioThroughProtocols:
+    """Radio edge cases exercised through the full network/protocol stack."""
+
+    def _line_network(self, radio):
+        return SensorNetwork.from_items(
+            list(range(12)), topology=line_topology(12), radio=radio
+        )
+
+    def test_lossy_retry_exhaustion_raises_through_protocol_run(self):
+        network = self._line_network(LossyRadio(loss_rate=0.9, seed=4, max_retries=1))
+        with pytest.raises(DeliveryError):
+            CountProtocol().run(network)
+
+    def test_lossy_retries_inflate_ledger_charges(self):
+        reliable = self._line_network(ReliableRadio())
+        lossy = self._line_network(LossyRadio(loss_rate=0.5, seed=8, max_retries=64))
+        baseline = CountProtocol().run(reliable)
+        inflated = CountProtocol().run(lossy)
+        assert inflated.value == baseline.value == 12
+        # Every retry is charged, so lossy links cost strictly more bits.
+        assert inflated.total_bits > baseline.total_bits
+        assert inflated.messages > baseline.messages
+
+    def test_duplicating_radio_charges_every_copy(self):
+        network = self._line_network(DuplicatingRadio(duplicate_rate=1.0, seed=2))
+        network.send(0, 1, payload="x", size_bits=8, protocol="test")
+        # Both delivered copies are charged to sender and receiver alike.
+        assert network.ledger.total_bits == 16
+        assert network.ledger.total_messages == 2
+        assert network.ledger.traffic(0).bits_sent == 16
+        assert network.ledger.traffic(1).bits_received == 16
+
+    def test_duplicating_radio_doubles_protocol_cost_not_answer(self):
+        reliable = self._line_network(ReliableRadio())
+        duplicating = self._line_network(DuplicatingRadio(duplicate_rate=1.0, seed=2))
+        baseline = CountProtocol().run(reliable)
+        doubled = CountProtocol().run(duplicating)
+        assert doubled.value == baseline.value == 12
+        assert doubled.total_bits == 2 * baseline.total_bits
+
+    def test_reset_makes_repeated_protocol_runs_identical(self):
+        network = self._line_network(LossyRadio(loss_rate=0.4, seed=6, max_retries=64))
+        first = CountProtocol().run(network)
+        # reset_ledger also resets the radio's RNG stream, so the retry
+        # pattern — and therefore every charge — replays exactly.
+        network.reset_ledger()
+        second = CountProtocol().run(network)
+        assert first.value == second.value
+        assert first.total_bits == second.total_bits
+        assert first.messages == second.messages
+
+    def test_without_reset_repeated_runs_diverge(self):
+        network = self._line_network(LossyRadio(loss_rate=0.4, seed=6, max_retries=64))
+        first = CountProtocol().run(network)
+        second = CountProtocol().run(network)  # RNG stream keeps advancing
+        assert first.value == second.value
+        assert first.total_bits != second.total_bits
 
 
 class TestDuplicatingRadio:
