@@ -1,0 +1,105 @@
+"""E11 — execution-path scaling: the batched core vs the per-edge reference.
+
+The batched execution core exists so the simulator can run production-scale
+fields: the per-edge path allocates a ``Message``, consults the graph, walks
+the radio model and mutates the ledger once per edge, which caps experiments
+at a few thousand nodes.  This benchmark drives the same broadcast + SUM
+convergecast round trip through both paths and checks the two claims of the
+refactor:
+
+* **equivalence** — wherever both paths run, their ledgers are bit-for-bit
+  identical (``ScalingRecord.ledgers_identical``);
+* **speed** — the batched path is ≥ 5× faster in wall-clock at n = 10,000,
+  and completes a 100k-node field (where the per-edge path is not even
+  attempted).
+
+Set ``REPRO_SCALE_SIZES`` (comma-separated node counts) to shrink the sweep —
+the CI smoke job runs ``REPRO_SCALE_SIZES=256,1024``, which still asserts
+ledger equivalence but skips the wall-clock assertions (timing on shared
+runners is noise).
+"""
+
+from __future__ import annotations
+
+import os
+
+from benchmarks.conftest import run_once
+from repro.analysis.experiments import run_scaling_study
+from repro.analysis.report import format_table
+
+_ENV_SIZES = os.environ.get("REPRO_SCALE_SIZES")
+FULL_SIZES = (1_000, 10_000, 100_000)
+SIZES = (
+    tuple(int(size) for size in _ENV_SIZES.split(",")) if _ENV_SIZES else FULL_SIZES
+)
+SMOKE = _ENV_SIZES is not None
+PER_EDGE_LIMIT = 20_000
+SPEEDUP_TARGET = 5.0
+SPEEDUP_AT = 10_000
+
+
+def test_batched_backend_scales(benchmark):
+    records = run_once(
+        benchmark,
+        run_scaling_study,
+        SIZES,
+        per_edge_limit=PER_EDGE_LIMIT,
+        repeats=3,
+        seed=0,
+    )
+
+    rows = [
+        [
+            record.num_nodes,
+            record.tree_height,
+            round(record.batched_seconds * 1000, 1),
+            "-" if record.per_edge_seconds is None
+            else round(record.per_edge_seconds * 1000, 1),
+            "-" if record.speedup is None else round(record.speedup, 1),
+            "-" if record.ledgers_identical is None else record.ledgers_identical,
+            record.messages,
+        ]
+        for record in records
+    ]
+    print()
+    print(format_table(
+        [
+            "N",
+            "tree height",
+            "batched (ms)",
+            "per-edge (ms)",
+            "speedup",
+            "ledgers equal",
+            "messages",
+        ],
+        rows,
+        title="E11  broadcast + SUM convergecast: batched vs per-edge execution",
+    ))
+
+    for record in records:
+        benchmark.extra_info[f"batched_ms_{record.num_nodes}"] = round(
+            record.batched_seconds * 1000, 2
+        )
+        if record.speedup is not None:
+            benchmark.extra_info[f"speedup_{record.num_nodes}"] = round(
+                record.speedup, 2
+            )
+
+    # Equivalence: wherever both paths ran, the ledgers must be identical.
+    compared = [record for record in records if record.ledgers_identical is not None]
+    assert compared, "no size was small enough to run the per-edge reference"
+    assert all(record.ledgers_identical for record in compared)
+    # Every requested size completed under the batched backend.
+    assert len(records) == len(SIZES)
+
+    if not SMOKE:
+        # Acceptance: ≥ 5× wall-clock speedup on the 10k-node convergecast...
+        ten_k = [
+            record
+            for record in records
+            if record.num_nodes >= SPEEDUP_AT and record.speedup is not None
+        ]
+        assert ten_k, f"sweep did not include a timed size ≥ {SPEEDUP_AT}"
+        assert max(record.speedup for record in ten_k) >= SPEEDUP_TARGET
+        # ...and the 100k-node field completes on the batched path.
+        assert max(record.num_nodes for record in records) >= 99_000

@@ -30,11 +30,19 @@ drifting readings — use the streaming engine::
     trace = run_stream(engine, stream, epochs=50)
     print(engine.answers(), trace.total_bits)
 
+Protocols execute over a pluggable two-path core: the default *batched* path
+plans whole tree levels and charges them to the ledger in bulk (scaling the
+simulator to 100k-node fields), while the *per-edge* reference path sends one
+edge at a time.  Both are bit-for-bit ledger-equivalent; select with
+``SensorNetwork(..., execution="per-edge")`` when you want the reference
+behaviour, e.g. for wall-clock comparisons (see
+``benchmarks/bench_scale.py``).
+
 The top-level namespace re-exports the pieces most users need: the network
-simulator, the deterministic and approximate median protocols, the primitive
-aggregation protocols, the continuous-query streaming engine and the
-verification helpers.  Substrates (sketches, baselines, workloads, the
-experiment harness) live in their own subpackages.
+simulator with its batched tree primitives, the deterministic and approximate
+median protocols, the primitive aggregation protocols, the continuous-query
+streaming engine and the verification helpers.  Substrates (sketches,
+baselines, workloads, the experiment harness) live in their own subpackages.
 """
 
 from repro.core import (
@@ -59,7 +67,14 @@ from repro.exceptions import (
     ReproError,
     TopologyError,
 )
-from repro.network import CommunicationLedger, EnergyModel, SensorNetwork
+from repro.network import (
+    EXECUTION_MODES,
+    CommunicationLedger,
+    EnergyModel,
+    FlatTree,
+    LedgerMark,
+    SensorNetwork,
+)
 from repro.protocols import (
     ApproxCountProtocol,
     AverageProtocol,
@@ -69,6 +84,9 @@ from repro.protocols import (
     MaxProtocol,
     MinProtocol,
     SumProtocol,
+    broadcast,
+    convergecast,
+    epoch_convergecast,
 )
 from repro.streaming import (
     ContinuousQueryEngine,
@@ -83,7 +101,7 @@ from repro.streaming import (
     run_stream,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "ApproximateMedianProtocol",
@@ -106,7 +124,13 @@ __all__ = [
     "TopologyError",
     "CommunicationLedger",
     "EnergyModel",
+    "EXECUTION_MODES",
+    "FlatTree",
+    "LedgerMark",
     "SensorNetwork",
+    "broadcast",
+    "convergecast",
+    "epoch_convergecast",
     "ApproxCountProtocol",
     "AverageProtocol",
     "CountPredicateProtocol",

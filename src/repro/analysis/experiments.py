@@ -1,4 +1,4 @@
-"""Sweep runners for the experiments of DESIGN.md (E1–E9).
+"""Sweep runners for the experiments of DESIGN.md (E1–E11).
 
 Each function runs one experiment family and returns plain records that the
 ``benchmarks/`` targets print as tables (and the test-suite sanity-checks at
@@ -9,7 +9,9 @@ dependencies so they can also be driven from the example scripts.
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass
+from operator import add
 from typing import Callable, Sequence
 
 from repro.analysis.metrics import RunRecord, median_accuracy
@@ -40,6 +42,8 @@ from repro.protocols.aggregates import (
     SumProtocol,
 )
 from repro.protocols.apx_count import ApproxCountProtocol
+from repro.protocols.broadcast import broadcast
+from repro.protocols.convergecast import convergecast
 from repro.streaming.engine import ContinuousQueryEngine
 from repro.streaming.queries import (
     CountQuery,
@@ -49,6 +53,7 @@ from repro.streaming.queries import (
 )
 from repro.streaming.recompute import RecomputeEngine
 from repro.streaming.trace import StreamingTrace
+from repro.network.topology import build_topology
 from repro.workloads.generators import generate_workload
 from repro.workloads.streams import make_stream
 
@@ -648,6 +653,113 @@ def run_streaming_comparison(
         incremental_trace=incremental.trace,
         recompute_trace=naive.trace,
     )
+
+
+# --------------------------------------------------------------------------- #
+# E11 — execution-path scaling: per-edge vs batched wall-clock
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class ScalingRecord:
+    """Wall-clock comparison of the two execution paths at one network size."""
+
+    num_nodes: int
+    topology: str
+    tree_height: int
+    batched_seconds: float
+    per_edge_seconds: float | None
+    speedup: float | None
+    ledgers_identical: bool | None
+    total_bits: int
+    messages: int
+
+
+def _scaling_workload(network: SensorNetwork) -> int:
+    """One root-initiated round trip: a request broadcast plus a SUM convergecast."""
+    broadcast(network, "sum-request", 32, protocol="scaling-request")
+    return convergecast(
+        network,
+        local_value=lambda node: sum(node.items),
+        combine=add,
+        size_bits=64,
+        protocol="scaling-sum",
+    )
+
+
+def run_scaling_study(
+    sizes: Sequence[int],
+    topology: str = "grid",
+    degree_bound: int | None = None,
+    per_edge_limit: int = 20_000,
+    repeats: int = 1,
+    seed: int = 0,
+) -> list[ScalingRecord]:
+    """E11: time the batched and per-edge execution paths as N grows.
+
+    For each size one network is built and the same broadcast + SUM
+    convergecast round trip is executed under both execution modes (best of
+    ``repeats``), resetting the ledger and radio in between so both paths see
+    identical randomness.  The resulting ledgers are compared field by field
+    — the batched backend must be bit-for-bit indistinguishable from the
+    per-edge reference.  Above ``per_edge_limit`` nodes only the batched path
+    runs (the per-edge path becomes the bottleneck the study exists to show),
+    so the sweep can include 100k-node fields.  ``degree_bound`` defaults to
+    ``None`` (plain BFS tree) because the bounded-degree re-parenting
+    heuristic, not the execution core, dominates build time at scale.
+    """
+    records: list[ScalingRecord] = []
+    for num_nodes in sizes:
+        # Build the graph first: generators only approximate the requested
+        # size (a grid rounds to the nearest square), and the items must
+        # match the actual node count.
+        graph = build_topology(topology, num_nodes, seed=seed)
+        actual_nodes = graph.number_of_nodes()
+        items = generate_workload(
+            "uniform",
+            actual_nodes,
+            max_value=default_domain(min(actual_nodes, 4096)),
+            seed=seed,
+        )
+        network = SensorNetwork.from_items(
+            items, topology=graph, seed=seed, degree_bound=degree_bound
+        )
+
+        def timed(mode: str) -> tuple[float, object]:
+            network.execution = mode
+            best = math.inf
+            snapshot = None
+            for _ in range(max(1, repeats)):
+                network.reset_ledger()
+                started = time.perf_counter()
+                _scaling_workload(network)
+                elapsed = time.perf_counter() - started
+                if elapsed < best:
+                    best = elapsed
+                snapshot = network.ledger.snapshot()
+            return best, snapshot
+
+        batched_seconds, batched_snapshot = timed("batched")
+        if num_nodes <= per_edge_limit:
+            per_edge_seconds, per_edge_snapshot = timed("per-edge")
+            speedup = per_edge_seconds / batched_seconds if batched_seconds else None
+            ledgers_identical = per_edge_snapshot == batched_snapshot
+        else:
+            per_edge_seconds = None
+            speedup = None
+            ledgers_identical = None
+        records.append(
+            ScalingRecord(
+                num_nodes=network.num_nodes,
+                topology=topology,
+                tree_height=network.tree.height,
+                batched_seconds=batched_seconds,
+                per_edge_seconds=per_edge_seconds,
+                speedup=speedup,
+                ledgers_identical=ledgers_identical,
+                total_bits=batched_snapshot.total_bits,
+                messages=batched_snapshot.messages,
+            )
+        )
+    return records
 
 
 def run_degree_bound_ablation(

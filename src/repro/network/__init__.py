@@ -8,8 +8,14 @@ that measures the *individual* communication complexity — the maximum number
 of bits transmitted plus received by any single node.
 """
 
-from repro.network.accounting import CommunicationLedger, NodeTraffic
+from repro.network.accounting import (
+    CommunicationLedger,
+    LedgerMark,
+    LedgerSnapshot,
+    NodeTraffic,
+)
 from repro.network.energy import EnergyModel, EnergyReport
+from repro.network.flat_tree import FlatTree
 from repro.network.message import Message
 from repro.network.node import SensorNode
 from repro.network.radio import (
@@ -18,7 +24,8 @@ from repro.network.radio import (
     RadioModel,
     ReliableRadio,
 )
-from repro.network.simulator import SensorNetwork
+from repro.network.scheduler import RoundEngine
+from repro.network.simulator import EXECUTION_MODES, SensorNetwork
 from repro.network.spanning_tree import SpanningTree, bfs_tree, bounded_degree_tree
 from repro.network.topology import (
     balanced_tree_topology,
@@ -32,15 +39,20 @@ from repro.network.topology import (
 
 __all__ = [
     "CommunicationLedger",
+    "LedgerMark",
+    "LedgerSnapshot",
     "NodeTraffic",
     "EnergyModel",
     "EnergyReport",
+    "FlatTree",
     "Message",
     "SensorNode",
     "RadioModel",
     "ReliableRadio",
     "LossyRadio",
     "DuplicatingRadio",
+    "RoundEngine",
+    "EXECUTION_MODES",
     "SensorNetwork",
     "SpanningTree",
     "bfs_tree",

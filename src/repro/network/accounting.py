@@ -6,13 +6,29 @@ transmitted **and** received by that node.  :class:`CommunicationLedger`
 records every charged transmission and exposes that measure, together with
 totals, per-protocol breakdowns and message/round counts used by the
 experiment harness.
+
+Two charging paths exist and are bit-for-bit equivalent:
+
+* :meth:`CommunicationLedger.charge` — one transmission at a time, used by
+  the per-edge execution path (``SensorNetwork.send``);
+* :meth:`CommunicationLedger.charge_batch` — a whole batch of transmissions
+  in one call, used by the batched execution path.  One batch entry with
+  ``copies`` repetitions is accounted exactly like ``copies`` individual
+  :meth:`charge` calls.
+
+For measuring a single protocol invocation, :meth:`mark` returns a
+lightweight :class:`LedgerMark` that records per-node baselines lazily — only
+for nodes the protocol actually touches — so computing the invocation's
+per-node delta is O(touched nodes), not O(network size).  (A full
+:meth:`snapshot` still copies the per-node table and remains available for
+callers that need the absolute state.)
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Iterator
+from typing import Iterator, Sequence
 
 from repro._util.validation import require_non_negative
 from repro.exceptions import BudgetExceededError
@@ -52,13 +68,52 @@ class LedgerSnapshot:
     per_protocol_bits: dict[str, int] = field(default_factory=dict)
 
 
+class LedgerMark:
+    """A position marker on a ledger, for O(touched-nodes) interval metering.
+
+    The mark records the scalar counters eagerly and per-node baselines
+    *lazily*: while the mark is active, the first charge that touches a node
+    stores that node's pre-charge total in :attr:`node_baseline`.  The delta
+    of the interval is then computable by looking only at the touched nodes —
+    a polylog-bit protocol on a 100k-node network diffs a handful of entries
+    instead of copying two 100k-entry dictionaries.
+    """
+
+    __slots__ = ("total_bits", "messages", "rounds", "node_baseline")
+
+    def __init__(self, total_bits: int, messages: int, rounds: int) -> None:
+        self.total_bits = total_bits
+        self.messages = messages
+        self.rounds = rounds
+        self.node_baseline: dict[int, int] = {}
+
+    def rebase(self, total_bits: int, messages: int, rounds: int) -> None:
+        """Reset the mark to a new origin (used when the ledger is reset)."""
+        self.total_bits = total_bits
+        self.messages = messages
+        self.rounds = rounds
+        self.node_baseline.clear()
+
+
+def _record_baselines(marks, sender, sender_traffic, receiver, receiver_traffic):
+    """Record pre-charge per-node totals on every active mark (first touch only)."""
+    for mark in marks:
+        baseline = mark.node_baseline
+        if sender not in baseline:
+            baseline[sender] = sender_traffic.bits_sent + sender_traffic.bits_received
+        if receiver not in baseline:
+            baseline[receiver] = (
+                receiver_traffic.bits_sent + receiver_traffic.bits_received
+            )
+
+
 class CommunicationLedger:
     """Records every bit sent or received by every node.
 
     The ledger is deliberately independent of the network topology: protocols
-    charge transmissions explicitly via :meth:`charge`, which keeps the
-    accounting honest even for protocols that bypass the spanning tree (e.g.
-    gossip baselines).
+    charge transmissions explicitly via :meth:`charge` or
+    :meth:`charge_batch`, which keeps the accounting honest even for
+    protocols that bypass the spanning tree (e.g. gossip baselines).
 
     An optional ``per_node_budget_bits`` turns the ledger into an enforcement
     mechanism: exceeding the budget raises :class:`BudgetExceededError`, which
@@ -73,7 +128,14 @@ class CommunicationLedger:
         self._per_protocol_bits: dict[str, int] = defaultdict(int)
         self._messages = 0
         self._rounds = 0
+        self._total_bits = 0
         self._budget = per_node_budget_bits
+        self._marks: list[LedgerMark] = []
+
+    @property
+    def per_node_budget_bits(self) -> int | None:
+        """The configured per-node budget, or ``None`` when unenforced."""
+        return self._budget
 
     # ------------------------------------------------------------------ #
     # Charging
@@ -89,12 +151,17 @@ class CommunicationLedger:
         require_non_negative(size_bits, "size_bits")
         sender_traffic = self._per_node[sender]
         receiver_traffic = self._per_node[receiver]
+        if self._marks:
+            _record_baselines(
+                self._marks, sender, sender_traffic, receiver, receiver_traffic
+            )
         sender_traffic.bits_sent += size_bits
         sender_traffic.messages_sent += 1
         receiver_traffic.bits_received += size_bits
         receiver_traffic.messages_received += 1
         self._per_protocol_bits[protocol] += size_bits
         self._messages += 1
+        self._total_bits += size_bits
         if self._budget is not None:
             for node_id, traffic in ((sender, sender_traffic), (receiver, receiver_traffic)):
                 if traffic.bits_total > self._budget:
@@ -102,6 +169,86 @@ class CommunicationLedger:
                         f"node {node_id} exceeded per-node budget of "
                         f"{self._budget} bits ({traffic.bits_total} bits used)"
                     )
+
+    def charge_batch(
+        self,
+        links: Sequence[tuple[int, int]],
+        sizes: Sequence[int],
+        copies: Sequence[int] | None = None,
+        protocol: str = "unknown",
+    ) -> None:
+        """Charge a batch of transmissions in one call.
+
+        ``links`` is a sequence of ``(sender, receiver)`` pairs and ``sizes``
+        the per-link transmission size in bits.  ``copies`` optionally gives a
+        per-link repetition count (radio retries/duplicates); ``None`` means
+        every link is charged exactly once.  Link ``i`` is accounted exactly
+        like ``copies[i]`` calls to :meth:`charge` with the same
+        sender/receiver/size, in link order, so the per-edge and batched
+        execution paths produce bit-for-bit identical ledgers.  Links with
+        ``copies[i] <= 0`` are skipped.
+
+        When a per-node budget is configured the batch falls back to
+        per-transmission charging so the :class:`BudgetExceededError` fires at
+        the same transmission it would on the per-edge path.
+        """
+        if not links:
+            # An empty batch must leave no trace (the per-edge path would
+            # simply not have charged), not a zero-bit per-protocol entry.
+            return
+        # Validate every size before mutating any state, so a bad size cannot
+        # leave per-node counters charged with the scalar totals unapplied.
+        for size_bits in sizes:
+            if size_bits < 0:
+                require_non_negative(size_bits, "size_bits")
+        if self._budget is not None:
+            if copies is None:
+                for (sender, receiver), size_bits in zip(links, sizes):
+                    self.charge(sender, receiver, size_bits, protocol=protocol)
+            else:
+                for (sender, receiver), size_bits, count in zip(links, sizes, copies):
+                    for _ in range(count):
+                        self.charge(sender, receiver, size_bits, protocol=protocol)
+            return
+        per_node = self._per_node
+        marks = self._marks
+        protocol_bits = 0
+        messages = 0
+        if copies is None:
+            for (sender, receiver), size_bits in zip(links, sizes):
+                sender_traffic = per_node[sender]
+                receiver_traffic = per_node[receiver]
+                if marks:
+                    _record_baselines(
+                        marks, sender, sender_traffic, receiver, receiver_traffic
+                    )
+                sender_traffic.bits_sent += size_bits
+                sender_traffic.messages_sent += 1
+                receiver_traffic.bits_received += size_bits
+                receiver_traffic.messages_received += 1
+                protocol_bits += size_bits
+            messages = len(links)
+        else:
+            for (sender, receiver), size_bits, count in zip(links, sizes, copies):
+                if count <= 0:
+                    continue
+                sender_traffic = per_node[sender]
+                receiver_traffic = per_node[receiver]
+                if marks:
+                    _record_baselines(
+                        marks, sender, sender_traffic, receiver, receiver_traffic
+                    )
+                bits = size_bits * count
+                sender_traffic.bits_sent += bits
+                sender_traffic.messages_sent += count
+                receiver_traffic.bits_received += bits
+                receiver_traffic.messages_received += count
+                protocol_bits += bits
+                messages += count
+        if messages:
+            self._per_protocol_bits[protocol] += protocol_bits
+            self._messages += messages
+            self._total_bits += protocol_bits
 
     def charge_local(self, node: int, size_bits: int, protocol: str = "local") -> None:
         """Charge bits that a node stores/processes locally without transmitting.
@@ -116,6 +263,45 @@ class CommunicationLedger:
         """Record ``count`` additional synchronous communication rounds."""
         require_non_negative(count, "count")
         self._rounds += count
+
+    # ------------------------------------------------------------------ #
+    # Interval metering (marks)
+    # ------------------------------------------------------------------ #
+    def mark(self) -> LedgerMark:
+        """Start an O(touched-nodes) metering interval and return its mark."""
+        mark = LedgerMark(
+            total_bits=self._total_bits,
+            messages=self._messages,
+            rounds=self._rounds,
+        )
+        self._marks.append(mark)
+        return mark
+
+    def release(self, mark: LedgerMark) -> None:
+        """Stop recording baselines for ``mark`` (idempotent).
+
+        The mark's recorded baselines stay valid, so deltas can still be read
+        after release; only *new* node touches stop being tracked.
+        """
+        try:
+            self._marks.remove(mark)
+        except ValueError:
+            pass
+
+    def node_deltas_since(self, mark: LedgerMark) -> dict[int, int]:
+        """Per-node bits added since ``mark``, for the touched nodes only."""
+        per_node = self._per_node
+        return {
+            node: per_node[node].bits_sent
+            + per_node[node].bits_received
+            - baseline
+            for node, baseline in mark.node_baseline.items()
+        }
+
+    def max_node_delta_since(self, mark: LedgerMark) -> int:
+        """Largest per-node bits delta since ``mark`` (0 if nothing was charged)."""
+        deltas = self.node_deltas_since(mark)
+        return max(deltas.values(), default=0)
 
     # ------------------------------------------------------------------ #
     # Queries
@@ -138,7 +324,7 @@ class CommunicationLedger:
     @property
     def total_bits(self) -> int:
         """Total bits transmitted across the whole network (each bit counted once)."""
-        return sum(traffic.bits_sent for traffic in self._per_node.values())
+        return self._total_bits
 
     @property
     def total_messages(self) -> int:
@@ -156,13 +342,35 @@ class CommunicationLedger:
         """Iterate over node ids that have sent or received at least one message."""
         return iter(self._per_node.keys())
 
+    def counters_snapshot(self) -> LedgerSnapshot:
+        """Scalar counters and per-protocol breakdown only — O(#protocols).
+
+        ``per_node_bits`` is left empty and ``max_node_bits`` reported as 0;
+        use this for interval diffs that only need totals (the streaming
+        engines take one per epoch), and :meth:`snapshot` when per-node
+        detail is required.
+        """
+        return LedgerSnapshot(
+            per_node_bits={},
+            total_bits=self._total_bits,
+            max_node_bits=0,
+            messages=self._messages,
+            rounds=self._rounds,
+            per_protocol_bits=dict(self._per_protocol_bits),
+        )
+
     def snapshot(self) -> LedgerSnapshot:
-        """Return an immutable summary of the current counters."""
+        """Return an immutable summary of the current counters.
+
+        This copies the full per-node table and is O(network size); prefer
+        :meth:`mark` / :meth:`node_deltas_since` for metering one protocol
+        invocation, and :meth:`counters_snapshot` for totals-only diffs.
+        """
         return LedgerSnapshot(
             per_node_bits={
                 node: traffic.bits_total for node, traffic in self._per_node.items()
             },
-            total_bits=self.total_bits,
+            total_bits=self._total_bits,
             max_node_bits=self.max_node_bits,
             messages=self._messages,
             rounds=self._rounds,
@@ -170,24 +378,40 @@ class CommunicationLedger:
         )
 
     def reset(self) -> None:
-        """Clear all counters (budget configuration is retained)."""
+        """Clear all counters (budget configuration is retained).
+
+        Active marks are rebased onto the cleared ledger, so a metering
+        interval spanning a reset measures from the reset point onward.
+        """
         self._per_node.clear()
         self._per_protocol_bits.clear()
         self._messages = 0
         self._rounds = 0
+        self._total_bits = 0
+        for mark in self._marks:
+            mark.rebase(total_bits=0, messages=0, rounds=0)
 
     def merge(self, other: "CommunicationLedger") -> None:
         """Accumulate the counters of another ledger into this one."""
+        if self._marks:
+            # Record pre-merge baselines for every node the merge will touch,
+            # so active metering intervals see the merged traffic as a delta.
+            for node in other._per_node:
+                traffic = self._per_node[node]
+                for mark in self._marks:
+                    if node not in mark.node_baseline:
+                        mark.node_baseline[node] = traffic.bits_total
         for node, traffic in other._per_node.items():
             self._per_node[node].merge(traffic)
         for protocol, bits in other._per_protocol_bits.items():
             self._per_protocol_bits[protocol] += bits
         self._messages += other._messages
         self._rounds += other._rounds
+        self._total_bits += other._total_bits
 
     def __repr__(self) -> str:  # pragma: no cover - debug convenience
         return (
             f"CommunicationLedger(max_node_bits={self.max_node_bits}, "
-            f"total_bits={self.total_bits}, messages={self._messages}, "
+            f"total_bits={self._total_bits}, messages={self._messages}, "
             f"rounds={self._rounds})"
         )

@@ -1,0 +1,141 @@
+"""Flat-array spanning-tree representation for the batched execution core.
+
+:class:`~repro.network.spanning_tree.SpanningTree` describes the tree with
+per-node dictionaries, which is convenient for construction and validation
+but expensive to traverse: every protocol walk re-sorts the node set by depth
+and chases parent/children pointers through hash lookups.  :class:`FlatTree`
+freezes one spanning tree into contiguous arrays indexed by a *canonical
+index* — the node's position in the top-down level order — so the batched
+protocol implementations can sweep whole levels with list indexing only:
+
+* ``parent[i]`` is the canonical index of node ``i``'s parent (``-1`` at the
+  root, which always has canonical index 0),
+* the children of node ``i`` are ``child_index[child_start[i]:child_end[i]]``,
+  in the same order as ``SpanningTree.children`` (so combine orders match the
+  per-edge traversals exactly),
+* ``bottom_up`` lists canonical indices in exactly the order of
+  :meth:`SpanningTree.nodes_bottom_up`, and the canonical order itself *is*
+  :meth:`SpanningTree.nodes_top_down`,
+* ``level_spans[d]`` is the half-open span of depth-``d`` nodes in canonical
+  order, so level sweeps are contiguous slices,
+* ``up_links`` / ``down_links`` are the tree's edge sequences as
+  ``(sender, receiver)`` node-id pairs, in exactly the order the per-edge
+  convergecast and broadcast sweeps transmit them — precomputed once so
+  full-tree batched sweeps ship a ready-made link list to
+  ``SensorNetwork.send_batch``.
+
+The representation is immutable by convention: it is built once per spanning
+tree (``SensorNetwork.flat_tree`` caches it and rebuilds only when the tree
+object changes) and shared by every batched traversal.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.network.spanning_tree import SpanningTree
+
+
+class FlatTree:
+    """Array-of-structs view of a rooted spanning tree."""
+
+    __slots__ = (
+        "root_id",
+        "num_nodes",
+        "height",
+        "node_ids",
+        "index",
+        "parent",
+        "depth",
+        "child_start",
+        "child_end",
+        "child_index",
+        "bottom_up",
+        "level_spans",
+        "up_links",
+        "down_links",
+    )
+
+    def __init__(self, tree: SpanningTree) -> None:
+        order = tree.nodes_top_down()
+        index = {node: position for position, node in enumerate(order)}
+        num_nodes = len(order)
+        parent = [0] * num_nodes
+        depth = [0] * num_nodes
+        child_start = [0] * num_nodes
+        child_end = [0] * num_nodes
+        child_index: list[int] = []
+        for position, node in enumerate(order):
+            depth[position] = tree.depth[node]
+            node_parent = tree.parent[node]
+            parent[position] = -1 if node_parent is None else index[node_parent]
+            child_start[position] = len(child_index)
+            child_index.extend(index[child] for child in tree.children[node])
+            child_end[position] = len(child_index)
+
+        height = depth[-1] if num_nodes else 0
+        level_spans: list[tuple[int, int]] = []
+        start = 0
+        for level in range(height + 1):
+            end = start
+            while end < num_nodes and depth[end] == level:
+                end += 1
+            level_spans.append((start, end))
+            start = end
+
+        self.root_id = tree.root
+        self.num_nodes = num_nodes
+        self.height = height
+        self.node_ids = order
+        self.index = index
+        self.parent = parent
+        self.depth = depth
+        self.child_start = child_start
+        self.child_end = child_end
+        self.child_index = child_index
+        self.bottom_up = [index[node] for node in tree.nodes_bottom_up()]
+        self.level_spans = level_spans
+        # Tree edges are static, so the link sequences of full-tree sweeps can
+        # be shared by every traversal instead of rebuilt per protocol run.
+        self.up_links = [
+            (order[position], order[parent[position]])
+            for position in self.bottom_up
+            if parent[position] >= 0
+        ]
+        self.down_links = [
+            (node, order[child])
+            for position, node in enumerate(order)
+            for child in child_index[child_start[position] : child_end[position]]
+        ]
+
+    @classmethod
+    def from_spanning_tree(cls, tree: SpanningTree) -> "FlatTree":
+        """Build the flat representation of ``tree`` (alias for the constructor)."""
+        return cls(tree)
+
+    # ------------------------------------------------------------------ #
+    # Convenience accessors (traversals index the arrays directly)
+    # ------------------------------------------------------------------ #
+    def children_of(self, position: int) -> list[int]:
+        """Canonical indices of the children of the node at ``position``."""
+        return self.child_index[self.child_start[position] : self.child_end[position]]
+
+    def parent_id(self, node_id: int) -> int | None:
+        """The parent *node id* of ``node_id`` (``None`` at the root)."""
+        parent_position = self.parent[self.index[node_id]]
+        return None if parent_position < 0 else self.node_ids[parent_position]
+
+    def nodes_bottom_up(self) -> Iterator[int]:
+        """Node ids in the same order as ``SpanningTree.nodes_bottom_up``."""
+        node_ids = self.node_ids
+        return (node_ids[position] for position in self.bottom_up)
+
+    def nodes_top_down(self) -> list[int]:
+        """Node ids in the same order as ``SpanningTree.nodes_top_down``."""
+        return list(self.node_ids)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug convenience
+        return (
+            f"FlatTree(nodes={self.num_nodes}, height={self.height}, "
+            f"root={self.root_id})"
+        )

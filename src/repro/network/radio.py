@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
+from typing import Sequence
 
 from repro._util.randomness import make_rng
 from repro._util.validation import require_non_negative, require_probability
@@ -42,12 +43,44 @@ class DeliveryOutcome:
         return self.copies_delivered > 0
 
 
+#: Shared outcome for the overwhelmingly common "one attempt, one copy" case,
+#: so batched paths do not allocate an object per link.
+DELIVERED_ONCE = DeliveryOutcome(attempts=1, copies_delivered=1)
+
+
 class RadioModel(abc.ABC):
     """Interface for link models used by :class:`~repro.network.SensorNetwork`."""
 
     @abc.abstractmethod
     def transmit(self, sender: int, receiver: int) -> DeliveryOutcome:
         """Attempt to deliver one message; return how many attempts/copies."""
+
+    def filter_batch(
+        self, links: Sequence[tuple[int, int]]
+    ) -> Sequence[DeliveryOutcome]:
+        """Attempt one logical transmission per ``(sender, receiver)`` link.
+
+        The default implementation calls :meth:`transmit` once per link *in
+        link order*, so custom radio models are automatically correct under
+        the batched execution path: a seeded radio consumes its randomness in
+        exactly the sequence the per-edge path would.
+
+        If a transmission fails permanently (:class:`DeliveryError`), the
+        outcomes of the links that succeeded before it are attached to the
+        exception as ``outcomes_before_failure``, so the batched sender can
+        charge exactly the prefix the per-edge path would have charged before
+        raising.
+        """
+        transmit = self.transmit
+        outcomes: list[DeliveryOutcome] = []
+        append = outcomes.append
+        try:
+            for sender, receiver in links:
+                append(transmit(sender, receiver))
+        except DeliveryError as error:
+            error.outcomes_before_failure = tuple(outcomes)
+            raise
+        return outcomes
 
     def reset(self) -> None:  # pragma: no cover - default no-op
         """Reset any internal state between experiments."""
@@ -57,7 +90,12 @@ class ReliableRadio(RadioModel):
     """Perfect links: one attempt, one delivered copy."""
 
     def transmit(self, sender: int, receiver: int) -> DeliveryOutcome:
-        return DeliveryOutcome(attempts=1, copies_delivered=1)
+        return DELIVERED_ONCE
+
+    def filter_batch(
+        self, links: Sequence[tuple[int, int]]
+    ) -> Sequence[DeliveryOutcome]:
+        return [DELIVERED_ONCE] * len(links)
 
 
 class LossyRadio(RadioModel):
@@ -86,6 +124,8 @@ class LossyRadio(RadioModel):
         while attempts <= self.max_retries:
             attempts += 1
             if self._rng.random() >= self.loss_rate:
+                if attempts == 1:
+                    return DELIVERED_ONCE
                 return DeliveryOutcome(attempts=attempts, copies_delivered=1)
         raise DeliveryError(
             f"link {sender}->{receiver} failed after {attempts} attempts "
@@ -105,10 +145,9 @@ class DuplicatingRadio(RadioModel):
         self._rng = make_rng(seed)
 
     def transmit(self, sender: int, receiver: int) -> DeliveryOutcome:
-        copies = 1
         if self._rng.random() < self.duplicate_rate:
-            copies = 2
-        return DeliveryOutcome(attempts=copies, copies_delivered=copies)
+            return DeliveryOutcome(attempts=2, copies_delivered=2)
+        return DELIVERED_ONCE
 
     def reset(self) -> None:
         self._rng = make_rng(self._seed)

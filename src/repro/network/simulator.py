@@ -5,27 +5,47 @@ input items, a rooted spanning tree, a radio model and the communication
 ledger.  Protocols interact with the network exclusively through
 
 * :meth:`send` — transmit a payload of an explicitly declared size over a
-  graph edge (charged to the ledger, filtered through the radio model), and
+  graph edge (charged to the ledger, filtered through the radio model),
+* the batched primitives :meth:`send_batch` / :meth:`send_up_tree` /
+  :meth:`send_down_tree` — plan a whole wave of synchronous-round
+  transmissions and charge them in one ledger call, and
 * the node objects — for *local* computation only.
 
 This mirrors the paper's model (Section 2.1): the root can only initiate
-protocols and read back results; all costs are incurred edge by edge.
+protocols and read back results; all costs are incurred edge by edge.  The
+two charging paths are bit-for-bit equivalent — the batched primitives exist
+purely so the simulator scales to 100k-node fields; see
+:attr:`SensorNetwork.execution` for how protocols pick a path.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Iterator, Sequence
+from typing import Callable, Iterable, Iterator, Mapping, Sequence
 
 import networkx as nx
 
 from repro._util.validation import require_non_negative
-from repro.exceptions import ConfigurationError, EmptyNetworkError, TopologyError
+from repro.exceptions import (
+    ConfigurationError,
+    DeliveryError,
+    EmptyNetworkError,
+    TopologyError,
+)
 from repro.network.accounting import CommunicationLedger, LedgerSnapshot
+from repro.network.flat_tree import FlatTree
 from repro.network.message import Message
 from repro.network.node import SensorNode
-from repro.network.radio import RadioModel, ReliableRadio
+from repro.network.radio import (
+    DELIVERED_ONCE,
+    DeliveryOutcome,
+    RadioModel,
+    ReliableRadio,
+)
 from repro.network.spanning_tree import SpanningTree, bfs_tree, bounded_degree_tree
 from repro.network.topology import build_topology
+
+#: Valid values of :attr:`SensorNetwork.execution`.
+EXECUTION_MODES = ("batched", "per-edge")
 
 
 class SensorNetwork:
@@ -39,6 +59,7 @@ class SensorNetwork:
         tree: SpanningTree | None = None,
         degree_bound: int | None = 3,
         ledger: CommunicationLedger | None = None,
+        execution: str = "batched",
     ) -> None:
         if root not in graph:
             raise TopologyError(f"root {root} is not a node of the graph")
@@ -48,10 +69,14 @@ class SensorNetwork:
         self.root_id = root
         self.radio = radio if radio is not None else ReliableRadio()
         self.ledger = ledger if ledger is not None else CommunicationLedger()
+        self.execution = execution
         self._nodes: dict[int, SensorNode] = {
             node_id: SensorNode(node_id=node_id, is_root=(node_id == root))
             for node_id in graph.nodes()
         }
+        self._sorted_ids: list[int] = sorted(self._nodes)
+        self._flat_tree: FlatTree | None = None
+        self._flat_tree_source: SpanningTree | None = None
         self.degree_bound = degree_bound
         if tree is not None:
             tree.validate(graph)
@@ -71,6 +96,7 @@ class SensorNetwork:
         radio: RadioModel | None = None,
         degree_bound: int | None = 3,
         seed: int | None = 0,
+        execution: str = "batched",
     ) -> "SensorNetwork":
         """Build a network with one item per node.
 
@@ -90,12 +116,34 @@ class SensorNetwork:
                 f"{len(items)} items were supplied"
             )
         network = cls(
-            graph, root=root, radio=radio, degree_bound=degree_bound
+            graph,
+            root=root,
+            radio=radio,
+            degree_bound=degree_bound,
+            execution=execution,
         )
-        node_ids = sorted(graph.nodes())
-        for node_id, value in zip(node_ids, items):
+        for node_id, value in zip(network._sorted_ids, items):
             network._nodes[node_id].add_item(value)
         return network
+
+    @property
+    def execution(self) -> str:
+        """Which charging path tree protocols use: ``"batched"`` (default) or
+        ``"per-edge"``.
+
+        Both paths produce bit-for-bit identical ledgers (enforced by the
+        equivalence test-suite); the per-edge path exists as the simple
+        reference implementation and for wall-clock comparisons.
+        """
+        return self._execution
+
+    @execution.setter
+    def execution(self, mode: str) -> None:
+        if mode not in EXECUTION_MODES:
+            raise ConfigurationError(
+                f"unknown execution mode {mode!r}; known: {EXECUTION_MODES}"
+            )
+        self._execution = mode
 
     def _build_tree(self) -> SpanningTree:
         if self.degree_bound is None:
@@ -128,6 +176,24 @@ class SensorNetwork:
     def root(self) -> SensorNode:
         return self._nodes[self.root_id]
 
+    @property
+    def flat_tree(self) -> FlatTree:
+        """Flat-array view of the current spanning tree (built lazily, cached).
+
+        The cache is keyed on the tree object itself, so
+        :meth:`rebuild_tree` — or assigning :attr:`tree` directly —
+        invalidates it automatically.
+        """
+        if self._flat_tree is None or self._flat_tree_source is not self.tree:
+            self._flat_tree = FlatTree(self.tree)
+            self._flat_tree_source = self.tree
+        return self._flat_tree
+
+    @property
+    def node_map(self) -> Mapping[int, SensorNode]:
+        """The node-id → :class:`SensorNode` table (treat as read-only)."""
+        return self._nodes
+
     def node(self, node_id: int) -> SensorNode:
         try:
             return self._nodes[node_id]
@@ -136,11 +202,13 @@ class SensorNetwork:
 
     def nodes(self) -> Iterator[SensorNode]:
         """Iterate over nodes in id order."""
-        for node_id in sorted(self._nodes):
-            yield self._nodes[node_id]
+        nodes = self._nodes
+        for node_id in self._sorted_ids:
+            yield nodes[node_id]
 
     def node_ids(self) -> list[int]:
-        return sorted(self._nodes)
+        """Node ids in ascending order (copied from a cache, never re-sorted)."""
+        return list(self._sorted_ids)
 
     def assign_items(self, per_node_items: dict[int, Iterable[int]]) -> None:
         """Replace the items of the listed nodes (others keep theirs)."""
@@ -242,6 +310,162 @@ class SensorNetwork:
             self.send(node_id, child, payload, size_bits, protocol=protocol)
             for child in self.tree.children[node_id]
         ]
+
+    # ------------------------------------------------------------------ #
+    # Batched communication
+    # ------------------------------------------------------------------ #
+    def send_batch(
+        self,
+        links: Sequence[tuple[int, int]],
+        sizes: Sequence[int],
+        protocol: str = "unknown",
+        require_edge: bool = True,
+    ) -> list[int]:
+        """Transmit one logical message per ``(sender, receiver)`` link.
+
+        The batched counterpart of :meth:`send`: the whole batch is filtered
+        through the radio model *in link order* (a seeded lossy radio
+        consumes randomness exactly as per-link sends would) and charged to
+        the ledger in one :meth:`CommunicationLedger.charge_batch` call, so
+        the resulting ledger is bit-for-bit identical to the per-edge path.
+        Payload objects are not simulated here — batched callers hand
+        payloads to receivers themselves — so the return value is the
+        ``copies_delivered`` count per link.
+        """
+        if len(links) != len(sizes):
+            raise ConfigurationError(
+                f"send_batch got {len(links)} links but {len(sizes)} sizes"
+            )
+        nodes = self._nodes
+        if require_edge:
+            has_edge = self.graph.has_edge
+            for sender, receiver in links:
+                if sender not in nodes or receiver not in nodes:
+                    raise ConfigurationError(
+                        f"send between unknown nodes {sender} -> {receiver}"
+                    )
+                if not has_edge(sender, receiver):
+                    raise TopologyError(
+                        f"nodes {sender} and {receiver} are not neighbours; "
+                        "multi-hop delivery must be routed explicitly"
+                    )
+        else:
+            # Endpoints are validated even when the edge check is waived
+            # (matching :meth:`send`) so a bogus id fails fast instead of
+            # becoming a phantom ledger entry.
+            for sender, receiver in links:
+                if sender not in nodes or receiver not in nodes:
+                    raise ConfigurationError(
+                        f"send between unknown nodes {sender} -> {receiver}"
+                    )
+        if self.ledger.per_node_budget_bits is not None:
+            # Budget enforcement must interleave radio draws and charges
+            # per link, so both the BudgetExceededError raise point and the
+            # radio RNG state at that point match the per-edge path exactly.
+            transmit = self.radio.transmit
+            charge = self.ledger.charge
+            copies_delivered: list[int] = []
+            for (sender, receiver), size in zip(links, sizes):
+                outcome = transmit(sender, receiver)
+                copies = outcome.copies_delivered
+                for _ in range(max(outcome.attempts, copies)):
+                    charge(sender, receiver, size, protocol=protocol)
+                copies_delivered.append(copies)
+            return copies_delivered
+        if type(self.radio) is ReliableRadio:
+            # Perfect links need no radio pass at all: one attempt, one copy.
+            self.ledger.charge_batch(links, sizes, None, protocol=protocol)
+            return [1] * len(links)
+        try:
+            outcomes = self.radio.filter_batch(links)
+        except DeliveryError as error:
+            # Ledger equivalence on the failure path too: the per-edge loop
+            # charges every link delivered before the failing one (and not
+            # the failing link itself, whose transmit raised before its
+            # charge), so charge exactly that prefix before re-raising.
+            delivered = getattr(error, "outcomes_before_failure", None)
+            if delivered:
+                prefix = len(delivered)
+                self._charge_outcomes(
+                    links[:prefix], sizes[:prefix], delivered, protocol
+                )
+            raise
+        return self._charge_outcomes(links, sizes, outcomes, protocol)
+
+    def _charge_outcomes(
+        self,
+        links: Sequence[tuple[int, int]],
+        sizes: Sequence[int],
+        outcomes: Sequence[DeliveryOutcome],
+        protocol: str,
+    ) -> list[int]:
+        """Charge filtered radio outcomes to the ledger; return copies per link."""
+        charged: list[int] = []
+        copies_delivered: list[int] = []
+        append_charged = charged.append
+        append_copies = copies_delivered.append
+        all_once = True
+        for outcome in outcomes:
+            if outcome is DELIVERED_ONCE:  # the overwhelmingly common case
+                append_charged(1)
+                append_copies(1)
+            else:
+                all_once = False
+                copies = outcome.copies_delivered
+                append_charged(max(outcome.attempts, copies))
+                append_copies(copies)
+        self.ledger.charge_batch(
+            links, sizes, None if all_once else charged, protocol=protocol
+        )
+        return copies_delivered
+
+    def send_up_tree(
+        self, sends: Sequence[tuple[int, int]], protocol: str = "unknown"
+    ) -> list[int]:
+        """Charge one upward tree transmission per ``(node_id, size_bits)`` pair.
+
+        Spanning-tree edges were validated against the graph at construction,
+        so no per-link edge checks are repeated.  Returns the
+        ``copies_delivered`` count per send, in order.
+        """
+        parent_of = self.tree.parent
+        links: list[tuple[int, int]] = []
+        sizes: list[int] = []
+        try:
+            for node_id, size_bits in sends:
+                parent = parent_of[node_id]
+                if parent is None:
+                    raise ConfigurationError(
+                        f"node {node_id} is the root; it has no parent to send to"
+                    )
+                links.append((node_id, parent))
+                sizes.append(size_bits)
+        except KeyError as error:
+            raise ConfigurationError(f"unknown node id {error.args[0]}") from None
+        return self.send_batch(links, sizes, protocol=protocol, require_edge=False)
+
+    def send_down_tree(
+        self, sends: Sequence[tuple[int, int]], protocol: str = "unknown"
+    ) -> list[tuple[int, int]]:
+        """Charge one downward transmission per child, for each ``(node_id,
+        size_bits)`` pair — the same payload fanned out to every tree child,
+        in child order.
+
+        Returns ``(child_id, copies_delivered)`` pairs covering the whole
+        batch, in transmission order.
+        """
+        children_of = self.tree.children
+        links: list[tuple[int, int]] = []
+        sizes: list[int] = []
+        try:
+            for node_id, size_bits in sends:
+                for child in children_of[node_id]:
+                    links.append((node_id, child))
+                    sizes.append(size_bits)
+        except KeyError as error:
+            raise ConfigurationError(f"unknown node id {error.args[0]}") from None
+        copies = self.send_batch(links, sizes, protocol=protocol, require_edge=False)
+        return [(link[1], count) for link, count in zip(links, copies)]
 
     # ------------------------------------------------------------------ #
     # Measurement helpers

@@ -18,8 +18,13 @@ bit to the network's ledger:
   substrate used by the gossip baseline (Kempe et al., cited as [6]).
 * :mod:`repro.protocols.epoch_convergecast` — the change-driven traversal the
   continuous-query engine (:mod:`repro.streaming`) runs once per epoch: only
-  dirty subtrees participate, executed as synchronous rounds on
-  :class:`~repro.network.RoundEngine`.
+  dirty subtrees participate, executed as synchronous rounds.
+
+The tree traversals (broadcast, convergecast, epoch_convergecast) each have
+two ledger-equivalent execution paths selected by ``network.execution``: a
+*batched* default that plans whole levels and charges them through
+``SensorNetwork.send_batch``, and a *per-edge* reference path that sends one
+edge at a time.
 """
 
 from repro.protocols.aggregates import (

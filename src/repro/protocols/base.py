@@ -45,31 +45,36 @@ class ProtocolResult:
 
 
 class MeteredRun:
-    """Context manager measuring the ledger delta of one protocol invocation."""
+    """Context manager measuring the ledger delta of one protocol invocation.
+
+    Built on :meth:`CommunicationLedger.mark`, which records per-node
+    baselines lazily for the nodes the protocol actually touches — entering,
+    exiting and :meth:`result` are therefore O(touched nodes), not
+    O(network size).  Metered runs nest: an outer protocol that invokes
+    sub-protocols (each with its own :class:`MeteredRun`) still measures its
+    full interval.
+    """
 
     def __init__(self, network: SensorNetwork) -> None:
         self.network = network
-        self._before = None
+        self._mark = None
 
     def __enter__(self) -> "MeteredRun":
-        self._before = self.network.ledger.snapshot()
+        self._mark = self.network.ledger.mark()
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
-        self._after = self.network.ledger.snapshot()
+        # Baselines recorded so far stay valid after release, so result()
+        # may be called either inside or right after the with-block.
+        self.network.ledger.release(self._mark)
 
     def result(self, value: Any) -> ProtocolResult:
-        after = self.network.ledger.snapshot()
-        before = self._before
-        per_node_delta = {
-            node: after.per_node_bits.get(node, 0) - before.per_node_bits.get(node, 0)
-            for node in set(after.per_node_bits) | set(before.per_node_bits)
-        }
-        max_delta = max(per_node_delta.values(), default=0)
+        ledger = self.network.ledger
+        mark = self._mark
         return ProtocolResult(
             value=value,
-            max_node_bits=max_delta,
-            total_bits=after.total_bits - before.total_bits,
-            messages=after.messages - before.messages,
-            rounds=after.rounds - before.rounds,
+            max_node_bits=ledger.max_node_delta_since(mark),
+            total_bits=ledger.total_bits - mark.total_bits,
+            messages=ledger.total_messages - mark.messages,
+            rounds=ledger.rounds - mark.rounds,
         )

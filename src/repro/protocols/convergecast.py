@@ -11,6 +11,20 @@ below is parameterised by
 * ``size_bits`` — the wire size of a partial aggregate, either a constant or
   a callable evaluated on the value actually sent (so adaptive encodings are
   charged faithfully).
+
+Two execution paths implement the same traversal, selected by
+``network.execution``:
+
+* *batched* (default) — walks the :class:`~repro.network.flat_tree.FlatTree`
+  arrays, collects every upward transmission of the sweep, and charges them
+  in one :meth:`~repro.network.SensorNetwork.send_up_tree` call.  This is
+  what lets the simulator run 100k-node fields.
+* *per-edge* — the reference implementation: one
+  :meth:`~repro.network.SensorNetwork.send` per tree edge.
+
+Both visit nodes, combine partials and draw radio randomness in exactly the
+same order, so they produce bit-for-bit identical ledgers and results (the
+equivalence test-suite enforces this across topologies and radio models).
 """
 
 from __future__ import annotations
@@ -36,6 +50,59 @@ def convergecast(
     aggregate before its parent combines it.  The number of synchronous rounds
     consumed equals the tree height.
     """
+    if network.execution == "per-edge":
+        return _convergecast_per_edge(
+            network, local_value, combine, size_bits, protocol
+        )
+    return _convergecast_batched(network, local_value, combine, size_bits, protocol)
+
+
+def _convergecast_batched(
+    network: SensorNetwork,
+    local_value: Callable[..., T],
+    combine: Callable[[T, T], T],
+    size_bits: int | Callable[[T], int],
+    protocol: str,
+) -> T:
+    flat = network.flat_tree
+    nodes = network.node_map
+    node_ids = flat.node_ids
+    parent = flat.parent
+    child_start = flat.child_start
+    child_end = flat.child_end
+    child_index = flat.child_index
+    values: list[T | None] = [None] * flat.num_nodes
+    # Every non-root node sends exactly once, in bottom-up order — the edge
+    # sequence is the precomputed flat.up_links; only the sizes are dynamic.
+    # An adaptive size callable is invoked exactly as on the per-edge path:
+    # once per transmitting (non-root) node, in the same order.
+    sizes: list[int] = []
+    append_size = sizes.append
+    adaptive = callable(size_bits)
+    for position in flat.bottom_up:
+        value = local_value(nodes[node_ids[position]])
+        start = child_start[position]
+        end = child_end[position]
+        if start != end:
+            for slot in range(start, end):
+                value = combine(value, values[child_index[slot]])
+        values[position] = value
+        if adaptive and parent[position] >= 0:
+            append_size(size_bits(value))
+    if not adaptive:
+        sizes = [size_bits] * len(flat.up_links)
+    network.send_batch(flat.up_links, sizes, protocol=protocol, require_edge=False)
+    network.ledger.advance_round(flat.height)
+    return values[0]  # the root has canonical index 0
+
+
+def _convergecast_per_edge(
+    network: SensorNetwork,
+    local_value: Callable[..., T],
+    combine: Callable[[T, T], T],
+    size_bits: int | Callable[[T], int],
+    protocol: str,
+) -> T:
     tree = network.tree
     partial: dict[int, T] = {}
     for node_id in tree.nodes_bottom_up():

@@ -5,16 +5,25 @@ whole tree and every node transmits.  In steady-state continuous monitoring
 most subtrees are unchanged, so the streaming engine needs a traversal in
 which only *dirty* nodes (and their ancestors, transitively, until a node
 decides the change is too small to forward) participate.  This module
-provides that traversal, executed as synchronous rounds on
-:class:`~repro.network.RoundEngine`: a node at depth ``d`` acts in the round
-in which all of its children's updates (sent one round earlier) have been
-delivered, so one epoch costs at most ``deepest dirty depth + 1`` rounds and
-exactly one upward message per node that decides to retransmit.
+provides that traversal as synchronous rounds: a node at depth ``d`` acts in
+the round in which all of its children's updates (sent one round earlier)
+have been delivered, so one epoch costs at most ``deepest dirty depth + 1``
+rounds and exactly one upward message per node that decides to retransmit.
 
 The traversal is policy-free: the per-node retransmit decision (including
 ε-suppression and delta sizing) is supplied by the caller as a ``decide``
 callback, which is how the streaming engine keeps all summary semantics in
 one place while this module owns scheduling and charging.
+
+Two execution paths implement the rounds, selected by ``network.execution``:
+the batched path (default) sweeps one tree level per round and charges each
+round's transmissions in a single
+:meth:`~repro.network.SensorNetwork.send_up_tree` call; the per-edge path
+runs the rounds on :class:`~repro.network.RoundEngine` with one
+:meth:`~repro.network.SensorNetwork.send` per transmission.  Both visit the
+active nodes of a round in ascending id order (the round engine's iteration
+order), so ledgers — including lossy-radio retries — are bit-for-bit
+identical.
 """
 
 from __future__ import annotations
@@ -58,6 +67,81 @@ def epoch_convergecast(
     """
     if not dirty:
         return EpochStats(rounds=0, activated=0, transmissions=0, suppressions=0)
+    if network.execution == "per-edge":
+        return _epoch_convergecast_per_edge(network, dirty, decide, protocol)
+    return _epoch_convergecast_batched(network, dirty, decide, protocol)
+
+
+def _epoch_convergecast_batched(
+    network: SensorNetwork,
+    dirty: set[int],
+    decide: DecideFn,
+    protocol: str,
+) -> EpochStats:
+    depth_of = network.tree.depth
+    deepest = max(depth_of[node] for node in dirty)
+    parent_of = network.tree.parent
+    ledger = network.ledger
+    received: dict[int, dict[int, Any]] = {}
+    # Only dirty nodes and nodes a delivery reaches ever act, so the sweep
+    # tracks the active frontier per level instead of scanning whole levels —
+    # a steady-state epoch with k dirty nodes is O(k · depth), not O(n).
+    active_by_depth: list[set[int]] = [set() for _ in range(deepest + 1)]
+    for node_id in dirty:
+        active_by_depth[depth_of[node_id]].add(node_id)
+    activated = transmissions = suppressions = 0
+    for depth in range(deepest, -1, -1):
+        links: list[tuple[int, int]] = []
+        sizes: list[int] = []
+        deliveries: list[tuple[int, int, Any]] = []
+        # Ascending id order: the order the per-edge round engine visits.
+        for node_id in sorted(active_by_depth[depth]):
+            updates = received.pop(node_id, None)
+            activated += 1
+            decision = decide(node_id, updates if updates is not None else {})
+            parent = parent_of[node_id]
+            if parent is None:
+                continue
+            if decision is None:
+                suppressions += 1
+                continue
+            payload, size_bits = decision
+            transmissions += 1
+            links.append((node_id, parent))
+            sizes.append(size_bits)
+            deliveries.append((parent, node_id, payload))
+        if links:
+            copies = network.send_batch(
+                links, sizes, protocol=protocol, require_edge=False
+            )
+            # Only transmissions the radio actually delivered reach (and
+            # thereby activate) the parent; duplicated deliveries (a
+            # duplicating radio) overwrite, so delivery is idempotent.
+            parents = active_by_depth[depth - 1]
+            for (parent, sender, payload), count in zip(deliveries, copies):
+                if count <= 0:
+                    continue
+                parents.add(parent)  # a tree parent is one level shallower
+                inbox = received.get(parent)
+                if inbox is None:
+                    received[parent] = {sender: payload}
+                else:
+                    inbox[sender] = payload
+        ledger.advance_round()
+    return EpochStats(
+        rounds=deepest + 1,
+        activated=activated,
+        transmissions=transmissions,
+        suppressions=suppressions,
+    )
+
+
+def _epoch_convergecast_per_edge(
+    network: SensorNetwork,
+    dirty: set[int],
+    decide: DecideFn,
+    protocol: str,
+) -> EpochStats:
     tree = network.tree
     deepest = max(tree.depth[node] for node in dirty)
     received: dict[int, dict[int, Any]] = {}

@@ -140,7 +140,9 @@ class ContinuousQueryEngine:
                 "no standing queries registered; call register() first"
             )
         updates = dict(updates or {})
-        before = self.network.ledger.snapshot()
+        # Totals-only diff: build_epoch_record never reads per-node bits, so
+        # a steady-state epoch stays O(touched), not O(network size).
+        before = self.network.ledger.counters_snapshot()
         self.network.assign_items(
             {node_id: list(items) for node_id, items in updates.items()}
         )
@@ -155,7 +157,7 @@ class ContinuousQueryEngine:
             stats_total["suppressions"] += stats.suppressions
             self._read_answer(name, state)
 
-        after = self.network.ledger.snapshot()
+        after = self.network.ledger.counters_snapshot()
         record = build_epoch_record(
             epoch=len(self.trace),
             answers=self._answers,

@@ -72,7 +72,7 @@ class RecomputeEngine:
                 "no standing queries registered; call register() first"
             )
         updates = dict(updates or {})
-        before = self.network.ledger.snapshot()
+        before = self.network.ledger.counters_snapshot()
         self.network.assign_items(
             {node_id: list(items) for node_id, items in updates.items()}
         )
@@ -87,7 +87,7 @@ class RecomputeEngine:
             )
             self._answers[name] = query.answer(root_summary)
             transmissions += self.network.num_nodes - 1
-        after = self.network.ledger.snapshot()
+        after = self.network.ledger.counters_snapshot()
         record = build_epoch_record(
             epoch=len(self.trace),
             answers=self._answers,

@@ -1,0 +1,272 @@
+"""Cross-path ledger equivalence: batched vs per-edge execution.
+
+The batched execution core's contract is that it is *indistinguishable* from
+the per-edge reference in everything the paper measures: the same per-node
+bits, totals, message counts, rounds and per-protocol breakdowns, under every
+topology and radio model, for the same seeds.  These property-style tests
+build twin networks — identical graphs, items, trees and identically seeded
+radios — run one under each execution mode, and compare full ledger
+snapshots (and protocol results) field by field.
+"""
+
+import random
+
+import pytest
+
+from repro.core.median import DeterministicMedianProtocol
+from repro.network.radio import DuplicatingRadio, LossyRadio, ReliableRadio
+from repro.network.simulator import SensorNetwork
+from repro.protocols.aggregates import CountProtocol, SumProtocol
+from repro.protocols.broadcast import broadcast
+from repro.protocols.convergecast import convergecast
+from repro.protocols.epoch_convergecast import epoch_convergecast
+
+TOPOLOGIES = ["grid", "line", "star", "random_geometric", "random_tree"]
+RADIOS = {
+    "reliable": lambda seed: ReliableRadio(),
+    "lossy": lambda seed: LossyRadio(loss_rate=0.35, seed=seed),
+    "duplicating": lambda seed: DuplicatingRadio(duplicate_rate=0.3, seed=seed),
+}
+SEEDS = [0, 1, 2]
+
+
+def twin_networks(topology, radio_name, seed, num_nodes=36):
+    rng = random.Random(seed * 7919 + 13)
+    items = [rng.randrange(1, 400) for _ in range(num_nodes)]
+    networks = []
+    for mode in ("batched", "per-edge"):
+        networks.append(
+            SensorNetwork.from_items(
+                items,
+                topology=topology,
+                seed=seed,
+                radio=RADIOS[radio_name](seed),
+                execution=mode,
+            )
+        )
+    return networks
+
+
+def assert_ledgers_identical(batched, per_edge):
+    left = batched.ledger.snapshot()
+    right = per_edge.ledger.snapshot()
+    assert left.per_node_bits == right.per_node_bits
+    assert left.total_bits == right.total_bits
+    assert left.max_node_bits == right.max_node_bits
+    assert left.messages == right.messages
+    assert left.rounds == right.rounds
+    assert left.per_protocol_bits == right.per_protocol_bits
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("radio_name", sorted(RADIOS))
+@pytest.mark.parametrize("topology", TOPOLOGIES)
+def test_tree_sweeps_are_ledger_identical(topology, radio_name, seed):
+    """Broadcast + adaptive-size convergecast + epoch convergecast."""
+    batched, per_edge = twin_networks(topology, radio_name, seed)
+    rng = random.Random(seed + 101)
+    dirty = {
+        node_id
+        for node_id in batched.node_ids()
+        if rng.random() < 0.3
+    } or {batched.node_ids()[-1]}
+
+    def decide(node_id, updates):
+        # Deterministic mix of suppression and adaptive payload sizes.
+        if node_id % 5 == 0 and not updates:
+            return None
+        return ("summary", 8 + (node_id % 3) * 4 + 2 * len(updates))
+
+    results = []
+    stats = []
+    for network in (batched, per_edge):
+        broadcast(network, "query", 24, protocol="request")
+        results.append(
+            convergecast(
+                network,
+                local_value=lambda node: sum(node.items),
+                combine=lambda a, b: a + b,
+                size_bits=lambda value: max(8, value.bit_length()),
+                protocol="sum",
+            )
+        )
+        stats.append(
+            epoch_convergecast(network, set(dirty), decide, protocol="epoch")
+        )
+    assert results[0] == results[1]
+    assert stats[0] == stats[1]
+    assert_ledgers_identical(batched, per_edge)
+
+
+@pytest.mark.parametrize("seed", [0, 1])
+@pytest.mark.parametrize("radio_name", ["reliable", "lossy"])
+@pytest.mark.parametrize("topology", ["grid", "random_geometric"])
+def test_metered_protocols_are_ledger_identical(topology, radio_name, seed):
+    """Full protocol objects (MeteredRun + sub-protocols) across both paths."""
+    batched, per_edge = twin_networks(topology, radio_name, seed, num_nodes=36)
+    for protocol in (CountProtocol(), SumProtocol()):
+        outcomes = []
+        for network in (batched, per_edge):
+            network.reset_ledger()
+            outcomes.append(protocol.run(network))
+        assert outcomes[0] == outcomes[1]
+        assert_ledgers_identical(batched, per_edge)
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_delivery_failure_charges_identically(seed):
+    """A permanent link failure mid-sweep charges the same prefix on both paths.
+
+    The per-edge loop charges every transmission delivered before the failing
+    link and nothing for the failure itself; the batched path must land on
+    exactly the same ledger before the DeliveryError propagates.
+    """
+    from repro.exceptions import DeliveryError
+
+    nets = [
+        SensorNetwork.from_items(
+            list(range(1, 13)),
+            topology="line",
+            radio=LossyRadio(loss_rate=0.9, max_retries=1, seed=seed),
+            execution=mode,
+        )
+        for mode in ("batched", "per-edge")
+    ]
+    raised = []
+    for network in nets:
+        try:
+            convergecast(
+                network,
+                local_value=lambda node: sum(node.items),
+                combine=lambda a, b: a + b,
+                size_bits=16,
+                protocol="sum",
+            )
+            raised.append(False)
+        except DeliveryError:
+            raised.append(True)
+    assert raised[0] == raised[1]
+    assert raised[0], "loss_rate=0.9 with 1 retry should fail on a 12-node line"
+    assert_ledgers_identical(*nets)
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_budget_breach_is_identical_including_radio_state(seed):
+    """A budget breach raises at the same transmission with the same RNG state.
+
+    Exact-protocol lower-bound tests catch BudgetExceededError and keep using
+    the network, so after the breach both the ledger and the lossy radio's
+    randomness must be indistinguishable between execution paths.
+    """
+    from repro.exceptions import BudgetExceededError
+    from repro.network.accounting import CommunicationLedger
+    from repro.network.topology import line_topology
+
+    nets = [
+        SensorNetwork(
+            line_topology(10),
+            radio=LossyRadio(loss_rate=0.4, seed=seed),
+            ledger=CommunicationLedger(per_node_budget_bits=30),
+            execution=mode,
+        )
+        for mode in ("batched", "per-edge")
+    ]
+    raised = []
+    for network in nets:
+        try:
+            convergecast(
+                network,
+                local_value=lambda node: 1,
+                combine=lambda a, b: a + b,
+                size_bits=16,
+                protocol="count",
+            )
+            raised.append(False)
+        except BudgetExceededError:
+            raised.append(True)
+    assert raised[0] == raised[1]
+    assert raised[0], "a 16-bit convergecast over a 10-line must breach 30 bits"
+    assert_ledgers_identical(*nets)
+    assert nets[0].radio._rng.getstate() == nets[1].radio._rng.getstate()
+
+
+def test_adaptive_size_callable_invoked_identically():
+    """Both paths call a stateful size callable once per transmitting node."""
+    calls = {"batched": [], "per-edge": []}
+    nets = [
+        SensorNetwork.from_items(list(range(16)), topology="grid", execution=mode)
+        for mode in ("batched", "per-edge")
+    ]
+    for mode, network in zip(("batched", "per-edge"), nets):
+        log = calls[mode]
+        convergecast(
+            network,
+            local_value=lambda node: sum(node.items),
+            combine=lambda a, b: a + b,
+            size_bits=lambda value: log.append(value) or max(8, value.bit_length()),
+            protocol="sum",
+        )
+    assert calls["batched"] == calls["per-edge"]
+    assert len(calls["batched"]) == nets[0].num_nodes - 1  # never for the root
+    assert_ledgers_identical(*nets)
+
+
+def test_single_node_network_is_ledger_identical():
+    """Empty sweeps must leave no trace — not zero-bit per-protocol entries."""
+    nets = [
+        SensorNetwork.from_items([5], topology="line", execution=mode)
+        for mode in ("batched", "per-edge")
+    ]
+    for network in nets:
+        broadcast(network, "req", 16, protocol="req")
+        total = convergecast(
+            network,
+            local_value=lambda node: sum(node.items),
+            combine=lambda a, b: a + b,
+            size_bits=8,
+            protocol="sum",
+        )
+        assert total == 5
+    assert nets[0].ledger.snapshot().per_protocol_bits == {}
+    assert_ledgers_identical(*nets)
+
+
+def test_zero_copy_custom_radio_epoch_equivalence():
+    """A radio reporting zero delivered copies must not activate the parent."""
+    from repro.network.radio import DeliveryOutcome, RadioModel
+
+    class SilentLossRadio(RadioModel):
+        """Deterministically charges but drops every third link."""
+
+        def transmit(self, sender, receiver):
+            if (sender + receiver) % 3 == 0:
+                return DeliveryOutcome(attempts=1, copies_delivered=0)
+            return DeliveryOutcome(attempts=1, copies_delivered=1)
+
+    stats = []
+    nets = []
+    for mode in ("batched", "per-edge"):
+        network = SensorNetwork.from_items(
+            list(range(12)), topology="line", radio=SilentLossRadio(), execution=mode
+        )
+        nets.append(network)
+        stats.append(
+            epoch_convergecast(
+                network, {11}, lambda nid, upd: ("d", 8), protocol="epoch"
+            )
+        )
+    assert stats[0] == stats[1]
+    assert_ledgers_identical(*nets)
+
+
+@pytest.mark.parametrize("seed", [0, 1])
+def test_deterministic_median_is_ledger_identical(seed):
+    """The paper's Fig. 1 protocol — broadcasts and convergecasts interleaved."""
+    batched, per_edge = twin_networks("grid", "reliable", seed, num_nodes=25)
+    domain = 512
+    outcomes = []
+    for network in (batched, per_edge):
+        outcomes.append(DeterministicMedianProtocol(domain_max=domain).run(network))
+    assert outcomes[0].value.median == outcomes[1].value.median
+    assert outcomes[0] == outcomes[1]
+    assert_ledgers_identical(batched, per_edge)
