@@ -13,7 +13,6 @@ from __future__ import annotations
 
 from benchmarks.conftest import run_once
 from repro.analysis.experiments import (
-    run_apx_median_trials,
     run_degree_bound_ablation,
     run_repetition_ablation,
 )

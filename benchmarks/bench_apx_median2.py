@@ -17,8 +17,8 @@ crossover falls — see EXPERIMENTS.md.
 from __future__ import annotations
 
 from benchmarks.conftest import run_once
-from repro.analysis.experiments import run_exact_median_sweep, run_polyloglog_sweep
-from repro.analysis.metrics import fit_against_model, fit_growth_exponent
+from repro.analysis.experiments import run_polyloglog_sweep
+from repro.analysis.metrics import fit_growth_exponent
 from repro.analysis.report import format_table
 from repro.analysis.theory import (
     exact_median_bits_envelope,

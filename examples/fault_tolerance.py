@@ -1,0 +1,151 @@
+"""Fault tolerance: a sensor field that survives a crash storm and an outage.
+
+Run with::
+
+    python examples/fault_tolerance.py
+
+A 400-node sensor field answers standing COUNT and MEDIAN queries over
+drifting readings while things go wrong on schedule: a 10% crash storm at
+epoch 3, a correlated regional outage at epoch 7, and full recovery of the
+storm's casualties at epoch 10.  The :class:`~repro.faults.FaultEngine`
+injects the failures, :class:`~repro.faults.TreeRepair` re-attaches the
+orphaned subtrees through local adoption handshakes, and the continuous-query
+engine re-synchronises only the summaries along repaired paths.
+
+The epoch table shows the point of the architecture: fault epochs cost a
+few hundred bits of repair control traffic plus targeted re-sync — not a
+network-wide rebuild — and the answers track the attached ground truth
+within the ε budget on every epoch.  A second run with the repair policy
+pinned to ``strategy="rebuild"`` (tear down, flood, recompute) shows what
+the same storms would cost naively.
+"""
+
+from __future__ import annotations
+
+from repro import (
+    ContinuousQueryEngine,
+    CountQuery,
+    FaultEngine,
+    MedianQuery,
+    SensorNetwork,
+    TreeRepair,
+    run_faulty_stream,
+)
+from repro.analysis.report import format_table
+from repro.workloads import DriftStream, crash_storm_script, regional_outage_script
+
+NUM_NODES = 400
+EPOCHS = 12
+DOMAIN = 1 << 16
+EPSILON = 0.1
+STORM_EPOCH = 3
+OUTAGE_EPOCH = 7
+REJOIN_EPOCH = 10
+
+
+def build_engine(strategy: str):
+    network = SensorNetwork.from_items(
+        [0] * NUM_NODES, topology="random_geometric", seed=0, degree_bound=None
+    )
+    network.clear_items()
+    engine = ContinuousQueryEngine(network, epsilon=EPSILON)
+    engine.register("count", CountQuery())
+    engine.register("median", MedianQuery(universe_size=DOMAIN, compression=256))
+    script = crash_storm_script(
+        network.node_ids(),
+        epoch=STORM_EPOCH,
+        fraction=0.10,
+        seed=1,
+        rejoin_epoch=REJOIN_EPOCH,
+    ).merge(
+        regional_outage_script(network.graph, epoch=OUTAGE_EPOCH, radius=2, seed=2)
+    )
+    faults = FaultEngine(network, script=script, repair=TreeRepair(strategy=strategy))
+    return engine, faults
+
+
+def main() -> None:
+    engine, faults = build_engine("incremental")
+    stream = DriftStream(NUM_NODES, max_value=DOMAIN, seed=3, drift_fraction=0.03)
+    trace = run_faulty_stream(engine, stream, faults, epochs=EPOCHS)
+
+    rows = []
+    for record in trace:
+        event = ""
+        if record.epoch == STORM_EPOCH:
+            event = "10% crash storm"
+        elif record.epoch == OUTAGE_EPOCH:
+            event = "regional outage"
+        elif record.epoch == REJOIN_EPOCH:
+            event = "casualties rejoin"
+        rows.append(
+            [
+                record.epoch,
+                event,
+                record.attached,
+                record.reparented,
+                record.repair_bits,
+                record.query_bits,
+                record.answers["count"],
+                record.truths.get("count", ""),
+                round(record.errors.get("median", 0.0), 1),
+            ]
+        )
+    print(format_table(
+        [
+            "epoch",
+            "event",
+            "attached",
+            "re-parented",
+            "repair bits",
+            "query bits",
+            "COUNT",
+            "truth",
+            "median rank err",
+        ],
+        rows,
+        title="Incremental repair + delta re-sync (400-node geometric field)",
+    ))
+    print()
+    print(
+        f"median rank-error budget: "
+        f"{engine.error_bounds()['median']:.1f} items "
+        f"(eps = {EPSILON}, q-digest compression 256)"
+    )
+
+    naive_engine, naive_faults = build_engine("rebuild")
+    naive_stream = DriftStream(
+        NUM_NODES, max_value=DOMAIN, seed=3, drift_fraction=0.03
+    )
+    naive_trace = run_faulty_stream(
+        naive_engine, naive_stream, naive_faults, epochs=EPOCHS
+    )
+
+    print()
+    print(format_table(
+        ["policy", "fault-epoch bits", "repair bits", "total bits", "rebuilds"],
+        [
+            [
+                "incremental repair",
+                trace.fault_epoch_bits,
+                trace.total_repair_bits,
+                trace.total_bits,
+                trace.rebuild_count,
+            ],
+            [
+                "rebuild + recompute",
+                naive_trace.fault_epoch_bits,
+                naive_trace.total_repair_bits,
+                naive_trace.total_bits,
+                naive_trace.rebuild_count,
+            ],
+        ],
+        title="Surviving the same faults, two ways",
+    ))
+    savings = naive_trace.fault_epoch_bits / max(1, trace.fault_epoch_bits)
+    print()
+    print(f"incremental repair spends {savings:.1f}x fewer bits on fault epochs")
+
+
+if __name__ == "__main__":
+    main()

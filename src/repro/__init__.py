@@ -38,6 +38,14 @@ edge at a time.  Both are bit-for-bit ledger-equivalent; select with
 behaviour, e.g. for wall-clock comparisons (see
 ``benchmarks/bench_scale.py``).
 
+Deployments also lose nodes and links: the fault-tolerance engine in
+:mod:`repro.faults` injects crashes, rejoins, link drops and regional
+outages, heals the spanning tree incrementally (orphaned subtrees re-attach
+through local adoption instead of a full rebuild) and re-synchronises only
+the summaries along repaired paths — see
+:func:`~repro.faults.run_faulty_stream` and ``benchmarks/bench_faults.py``
+for the measured repair-vs-rebuild savings.
+
 The top-level namespace re-exports the pieces most users need: the network
 simulator with its batched tree primitives, the deterministic and approximate
 median protocols, the primitive aggregation protocols, the continuous-query
@@ -66,6 +74,19 @@ from repro.exceptions import (
     ProtocolError,
     ReproError,
     TopologyError,
+)
+from repro.faults import (
+    FaultEngine,
+    FaultScript,
+    FaultTrace,
+    LinkDrop,
+    LinkRestore,
+    NodeCrash,
+    NodeRejoin,
+    RegionalOutage,
+    RepairResult,
+    TreeRepair,
+    run_faulty_stream,
 )
 from repro.network import (
     EXECUTION_MODES,
@@ -101,7 +122,7 @@ from repro.streaming import (
     run_stream,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "ApproximateMedianProtocol",
@@ -139,6 +160,17 @@ __all__ = [
     "MaxProtocol",
     "MinProtocol",
     "SumProtocol",
+    "FaultEngine",
+    "FaultScript",
+    "FaultTrace",
+    "NodeCrash",
+    "NodeRejoin",
+    "LinkDrop",
+    "LinkRestore",
+    "RegionalOutage",
+    "RepairResult",
+    "TreeRepair",
+    "run_faulty_stream",
     "ContinuousQueryEngine",
     "RecomputeEngine",
     "run_stream",

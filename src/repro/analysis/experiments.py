@@ -1,4 +1,4 @@
-"""Sweep runners for the experiments of DESIGN.md (E1–E11).
+"""Sweep runners for the experiments of DESIGN.md (E1–E12).
 
 Each function runs one experiment family and returns plain records that the
 ``benchmarks/`` targets print as tables (and the test-suite sanity-checks at
@@ -12,7 +12,7 @@ import math
 import time
 from dataclasses import dataclass
 from operator import add
-from typing import Callable, Sequence
+from typing import Sequence
 
 from repro.analysis.metrics import RunRecord, median_accuracy
 from repro.baselines import (
@@ -31,8 +31,13 @@ from repro.core.definitions import (
 from repro.core.median import DeterministicMedianProtocol
 from repro.core.order_statistics import DeterministicOrderStatisticProtocol
 from repro.core.rep_count import RepetitionPolicy
+from repro.exceptions import ConfigurationError
 from repro.distinct import ApproxDistinctCountProtocol, ExactDistinctCountProtocol
 from repro.core.definitions import rank
+from repro.faults.engine import FaultEngine
+from repro.faults.repair import TreeRepair
+from repro.faults.runner import run_faulty_stream
+from repro.faults.trace import FaultTrace
 from repro.network.simulator import SensorNetwork
 from repro.protocols.aggregates import (
     AverageProtocol,
@@ -54,8 +59,15 @@ from repro.streaming.queries import (
 from repro.streaming.recompute import RecomputeEngine
 from repro.streaming.trace import StreamingTrace
 from repro.network.topology import build_topology
+from repro.workloads.faults import (
+    FAULT_SCENARIOS,
+    churn_script,
+    crash_storm_script,
+    link_storm_script,
+    regional_outage_script,
+)
 from repro.workloads.generators import generate_workload
-from repro.workloads.streams import make_stream
+from repro.workloads.streams import DriftStream, make_stream
 
 
 def default_domain(num_items: int) -> int:
@@ -802,3 +814,179 @@ def run_degree_bound_ablation(
             )
         )
     return records
+
+
+# --------------------------------------------------------------------------- #
+# E12 — fault tolerance: incremental repair + delta re-sync vs rebuild-and-
+# recompute
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class FaultToleranceComparison:
+    """Outcome of driving both repair policies through one fault scenario."""
+
+    scenario: str
+    num_nodes: int
+    epochs: int
+    epsilon: float
+    incremental_fault_bits: int
+    rebuild_fault_bits: int
+    savings_factor: float
+    incremental_total_bits: int
+    rebuild_total_bits: int
+    incremental_repair_bits: int
+    rebuild_repair_bits: int
+    incremental_max_count_error: float
+    rebuild_max_count_error: float
+    count_error_budget: float
+    incremental_rebuilds: int
+    rebuild_rebuilds: int
+    incremental_trace: FaultTrace
+    rebuild_trace: FaultTrace
+
+
+def _fault_scenario_script(
+    scenario: str,
+    graph,
+    node_ids: Sequence[int],
+    epochs: int,
+    storm_epoch: int,
+    crash_fraction: float,
+    rejoin_epoch: int | None,
+    outage_radius: int,
+    seed: int,
+):
+    """Build the scenario's :class:`~repro.faults.FaultScript` for one arm."""
+    if scenario == "crash_storm":
+        return crash_storm_script(
+            node_ids,
+            epoch=storm_epoch,
+            fraction=crash_fraction,
+            seed=seed,
+            rejoin_epoch=rejoin_epoch,
+        )
+    if scenario == "regional_outage":
+        return regional_outage_script(
+            graph,
+            epoch=storm_epoch,
+            radius=outage_radius,
+            seed=seed,
+            rejoin_epoch=rejoin_epoch,
+        )
+    if scenario == "churn":
+        return churn_script(
+            node_ids,
+            epochs=max(1, epochs - 1),
+            churn_rate=crash_fraction,
+            start_epoch=1,
+            seed=seed,
+        )
+    if scenario == "link_storm":
+        return link_storm_script(
+            graph,
+            epoch=storm_epoch,
+            fraction=crash_fraction,
+            seed=seed,
+            restore_epoch=rejoin_epoch,
+        )
+    raise ConfigurationError(
+        f"unknown fault scenario {scenario!r}; known: {FAULT_SCENARIOS}"
+    )
+
+
+def run_fault_tolerance_study(
+    num_nodes: int = 400,
+    epochs: int = 8,
+    scenario: str = "crash_storm",
+    crash_fraction: float = 0.1,
+    storm_epoch: int = 2,
+    rejoin_epoch: int | None = 5,
+    outage_radius: int = 3,
+    epsilon: float = 0.1,
+    topology: str = "random_geometric",
+    degree_bound: int | None = None,
+    drift_fraction: float = 0.02,
+    domain_max: int | None = None,
+    compute_truth: bool = True,
+    seed: int = 0,
+) -> FaultToleranceComparison:
+    """E12: measure what surviving faults costs under the two repair policies.
+
+    Two identical networks run the same drifting stream with the same
+    standing queries (COUNT and a COUNTP) under the same fault scenario; one
+    arm repairs its spanning tree incrementally and re-synchronises only the
+    summaries along repaired paths, the other rebuilds the BFS tree from
+    scratch and recomputes every summary (the ``strategy="rebuild"``
+    policy).  Off fault epochs the two arms behave identically, so the
+    comparison is taken over the *fault-epoch* bits — the cost attributable
+    to surviving the scenario — while answer accuracy is checked against the
+    attached ground truth on every epoch for both arms.
+    """
+    domain = domain_max if domain_max is not None else 1 << 16
+    traces: dict[str, FaultTrace] = {}
+    for strategy in ("incremental", "rebuild"):
+        graph = build_topology(topology, num_nodes, seed=seed)
+        network = SensorNetwork.from_items(
+            [0] * graph.number_of_nodes(),
+            topology=graph,
+            seed=seed,
+            degree_bound=degree_bound,
+        )
+        network.clear_items()
+        engine = ContinuousQueryEngine(network, epsilon=epsilon)
+        engine.register("count", CountQuery())
+        engine.register(
+            "below_mid",
+            PredicateCountQuery(
+                lambda item, mid=domain // 2: item < mid,
+                description=f"x < {domain // 2}",
+            ),
+        )
+        script = _fault_scenario_script(
+            scenario,
+            network.graph,
+            network.node_ids(),
+            epochs,
+            storm_epoch,
+            crash_fraction,
+            rejoin_epoch,
+            outage_radius,
+            seed,
+        )
+        faults = FaultEngine(
+            network,
+            script=script,
+            repair=TreeRepair(strategy=strategy),
+            seed=seed,
+        )
+        stream = DriftStream(
+            graph.number_of_nodes(),
+            max_value=domain,
+            seed=seed,
+            drift_fraction=drift_fraction,
+        )
+        traces[strategy] = run_faulty_stream(
+            engine, stream, faults, epochs=epochs, compute_truth=compute_truth
+        )
+    incremental = traces["incremental"]
+    rebuild = traces["rebuild"]
+    return FaultToleranceComparison(
+        scenario=scenario,
+        num_nodes=num_nodes,
+        epochs=epochs,
+        epsilon=epsilon,
+        incremental_fault_bits=incremental.fault_epoch_bits,
+        rebuild_fault_bits=rebuild.fault_epoch_bits,
+        savings_factor=rebuild.fault_epoch_bits
+        / max(1, incremental.fault_epoch_bits),
+        incremental_total_bits=incremental.total_bits,
+        rebuild_total_bits=rebuild.total_bits,
+        incremental_repair_bits=incremental.total_repair_bits,
+        rebuild_repair_bits=rebuild.total_repair_bits,
+        incremental_max_count_error=incremental.max_answer_error("count"),
+        rebuild_max_count_error=rebuild.max_answer_error("count"),
+        count_error_budget=epsilon * num_nodes,
+        incremental_rebuilds=incremental.rebuild_count,
+        rebuild_rebuilds=rebuild.rebuild_count,
+        incremental_trace=incremental,
+        rebuild_trace=rebuild,
+    )

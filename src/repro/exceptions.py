@@ -36,5 +36,15 @@ class DeliveryError(ProtocolError):
     """Raised when the radio model permanently fails to deliver a message."""
 
 
+class DeadNodeError(ProtocolError):
+    """Raised when a transmission involves a node that has crashed.
+
+    Protocols never trigger this in normal operation — the self-healing tree
+    spans only alive, root-connected nodes — so it firing means a traversal
+    used stale topology state, which must fail loudly rather than charge
+    phantom traffic to a dead radio.
+    """
+
+
 class BudgetExceededError(ReproError):
     """Raised when a protocol exceeds an explicitly configured bit budget."""

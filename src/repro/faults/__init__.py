@@ -1,0 +1,75 @@
+"""Fault-tolerance engine: crash/churn injection and self-healing trees.
+
+The aggregate protocols (and the streaming engine built on them) assume the
+spanning tree constructed at epoch 0 survives forever.  Real sensor fields do
+not cooperate: nodes crash, batteries die, animals chew through links, whole
+regions wash out, and some of the casualties later come back.  This
+subpackage makes the simulator model that — and makes the system *survive*
+it at a measured, minimised cost:
+
+* :mod:`repro.faults.events` — the fault vocabulary (:class:`NodeCrash`,
+  :class:`NodeRejoin`, :class:`LinkDrop`, :class:`LinkRestore`,
+  :class:`RegionalOutage`) and :class:`FaultScript`, a deterministic
+  epoch-indexed schedule of events;
+* :mod:`repro.faults.repair` — :class:`TreeRepair`, the self-healing layer:
+  orphaned subtrees re-attach *as units* through local adoption handshakes
+  (parent pointers patched along the re-rooting path only), falling back to a
+  full BFS rebuild when the estimated incremental cost exceeds a threshold;
+* :mod:`repro.faults.engine` — :class:`FaultEngine`, which injects scripted
+  and stochastic events into a running
+  :class:`~repro.network.SensorNetwork` and drives repair;
+* :mod:`repro.faults.trace` — :class:`FaultTrace`, the per-epoch record of
+  repair bits/messages/energy and answer accuracy under failure;
+* :mod:`repro.faults.runner` — :func:`run_faulty_stream`, which interleaves
+  a stream workload, the fault engine and a continuous-query engine so the
+  whole stack (inject → repair → delta-resync → answer) runs per epoch.
+
+Quick start::
+
+    from repro import ContinuousQueryEngine, CountQuery, SensorNetwork
+    from repro.faults import FaultEngine, TreeRepair, run_faulty_stream
+    from repro.workloads import DriftStream
+    from repro.workloads.faults import crash_storm_script
+
+    network = SensorNetwork.from_items([0] * 400, topology="grid")
+    engine = ContinuousQueryEngine(network, epsilon=0.1)
+    engine.register("count", CountQuery())
+    script = crash_storm_script(network.node_ids(), epoch=3, fraction=0.1)
+    faults = FaultEngine(network, script=script, repair=TreeRepair())
+    trace = run_faulty_stream(
+        engine, DriftStream(num_nodes=400, seed=0), faults, epochs=8
+    )
+    print(trace.total_repair_bits, trace.max_answer_error("count"))
+"""
+
+from repro.faults.engine import FaultEngine, FaultReport
+from repro.faults.events import (
+    FaultEvent,
+    FaultScript,
+    LinkDrop,
+    LinkRestore,
+    NodeCrash,
+    NodeRejoin,
+    RegionalOutage,
+)
+from repro.faults.repair import REPAIR_STRATEGIES, RepairResult, TreeRepair
+from repro.faults.runner import run_faulty_stream
+from repro.faults.trace import FaultEpochRecord, FaultTrace
+
+__all__ = [
+    "FaultEngine",
+    "FaultReport",
+    "FaultEvent",
+    "FaultScript",
+    "NodeCrash",
+    "NodeRejoin",
+    "LinkDrop",
+    "LinkRestore",
+    "RegionalOutage",
+    "REPAIR_STRATEGIES",
+    "RepairResult",
+    "TreeRepair",
+    "run_faulty_stream",
+    "FaultEpochRecord",
+    "FaultTrace",
+]

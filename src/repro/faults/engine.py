@@ -1,0 +1,210 @@
+"""The fault-injection engine.
+
+:class:`FaultEngine` owns everything that can go wrong with a running
+:class:`~repro.network.SensorNetwork`: it applies scripted events from a
+:class:`~repro.faults.events.FaultScript`, draws stochastic crash / rejoin /
+link-failure events from per-epoch rates, mutates the network (alive-mask,
+item loss, graph edges) accordingly, and drives the configured
+:class:`~repro.faults.repair.TreeRepair` so the spanning tree keeps spanning
+the alive, root-connected population.  One :meth:`step` per epoch returns a
+:class:`FaultReport` describing both the injected events and the repair's
+outcome, which the stream runner feeds to the continuous-query engine's
+recovery protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro._util.randomness import make_rng
+from repro._util.validation import require_non_negative, require_probability
+from repro.exceptions import ConfigurationError
+from repro.faults.events import (
+    FaultEvent,
+    FaultScript,
+    LinkDrop,
+    LinkRestore,
+    NodeCrash,
+    NodeRejoin,
+    RegionalOutage,
+    expand_regional_outage,
+)
+from repro.faults.repair import RepairResult, TreeRepair
+from repro.network.simulator import SensorNetwork
+
+
+@dataclass(frozen=True)
+class FaultReport:
+    """What one epoch of fault injection did to the network."""
+
+    epoch: int
+    crashed: tuple[int, ...]
+    rejoined: tuple[int, ...]
+    dropped_links: tuple[tuple[int, int], ...]
+    restored_links: tuple[tuple[int, int], ...]
+    repair: RepairResult
+    applied_events: int = 0
+
+    @property
+    def had_faults(self) -> bool:
+        return bool(
+            self.crashed
+            or self.rejoined
+            or self.dropped_links
+            or self.restored_links
+        )
+
+
+class FaultEngine:
+    """Inject scripted and stochastic faults and keep the tree repaired."""
+
+    def __init__(
+        self,
+        network: SensorNetwork,
+        script: FaultScript | None = None,
+        repair: TreeRepair | None = None,
+        seed: int | None = 0,
+        crash_rate: float = 0.0,
+        rejoin_rate: float = 0.0,
+        link_drop_rate: float = 0.0,
+        rejoin_value_max: int = 1 << 16,
+    ) -> None:
+        self.network = network
+        self.script = script if script is not None else FaultScript()
+        self.repair = repair if repair is not None else TreeRepair()
+        self.crash_rate = require_probability(crash_rate, "crash_rate")
+        self.rejoin_rate = require_probability(rejoin_rate, "rejoin_rate")
+        self.link_drop_rate = require_probability(link_drop_rate, "link_drop_rate")
+        self.rejoin_value_max = require_non_negative(
+            rejoin_value_max, "rejoin_value_max"
+        )
+        self._rng = make_rng(seed)
+        self.dropped_edges: set[tuple[int, int]] = set()
+
+    # ------------------------------------------------------------------ #
+    # Epoch driver
+    # ------------------------------------------------------------------ #
+    def step(
+        self, epoch: int, extra_events: Sequence[FaultEvent] = ()
+    ) -> FaultReport:
+        """Apply epoch ``epoch``'s events (scripted, extra, then stochastic),
+        repair the tree, and report what happened.
+
+        ``extra_events`` lets callers feed in events produced elsewhere —
+        e.g. a :class:`~repro.workloads.ChurnStream` running in explicit
+        event mode.  A quiet epoch skips the repair pass entirely: a static
+        field cannot heal or break on its own, and detached survivors are
+        reconsidered by the full repair the next event triggers.
+        """
+        events = list(self.script.events_at(epoch))
+        events.extend(extra_events)
+        events.extend(self._stochastic_events())
+        crashed: list[int] = []
+        rejoined: list[int] = []
+        dropped: list[tuple[int, int]] = []
+        restored: list[tuple[int, int]] = []
+        for event in events:
+            self._apply(event, crashed, rejoined, dropped, restored)
+        if crashed or rejoined or dropped or restored:
+            repair = self.repair.repair(self.network)
+        else:
+            repair = _noop_repair()
+        return FaultReport(
+            epoch=epoch,
+            crashed=tuple(crashed),
+            rejoined=tuple(rejoined),
+            dropped_links=tuple(dropped),
+            restored_links=tuple(restored),
+            repair=repair,
+            applied_events=len(events),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Event application
+    # ------------------------------------------------------------------ #
+    def _apply(
+        self,
+        event: FaultEvent,
+        crashed: list[int],
+        rejoined: list[int],
+        dropped: list[tuple[int, int]],
+        restored: list[tuple[int, int]],
+    ) -> None:
+        network = self.network
+        if isinstance(event, NodeCrash):
+            if network.is_alive(event.node_id):
+                network.kill_node(event.node_id)
+                crashed.append(event.node_id)
+        elif isinstance(event, NodeRejoin):
+            if not network.is_alive(event.node_id):
+                network.revive_node(event.node_id)
+                node = network.node(event.node_id)
+                node.clear_items()
+                node.add_items(event.items)
+                rejoined.append(event.node_id)
+        elif isinstance(event, RegionalOutage):
+            for crash in expand_regional_outage(
+                network.graph, event, protect=(network.root_id,)
+            ):
+                self._apply(crash, crashed, rejoined, dropped, restored)
+        elif isinstance(event, LinkDrop):
+            edge = event.edge
+            if network.graph.has_edge(*edge):
+                network.graph.remove_edge(*edge)
+                self.dropped_edges.add(edge)
+                dropped.append(edge)
+        elif isinstance(event, LinkRestore):
+            edge = event.edge
+            if edge in self.dropped_edges:
+                network.graph.add_edge(*edge)
+                self.dropped_edges.discard(edge)
+                restored.append(edge)
+        else:
+            raise ConfigurationError(f"unknown fault event {event!r}")
+
+    def _stochastic_events(self) -> list[FaultEvent]:
+        """Draw this epoch's random events (deterministic in the seed).
+
+        Nodes are visited in ascending id order so twin engines with equal
+        seeds inject identical faults regardless of execution mode.
+        """
+        events: list[FaultEvent] = []
+        network = self.network
+        rng = self._rng
+        if self.crash_rate > 0.0:
+            for node_id in network.alive_node_ids():
+                if node_id == network.root_id:
+                    continue
+                if rng.random() < self.crash_rate:
+                    events.append(NodeCrash(node_id))
+        if self.rejoin_rate > 0.0:
+            for node_id in network.dead_node_ids():
+                if rng.random() < self.rejoin_rate:
+                    events.append(
+                        NodeRejoin(
+                            node_id,
+                            items=(rng.randint(0, self.rejoin_value_max),),
+                        )
+                    )
+        if self.link_drop_rate > 0.0:
+            for u, v in sorted(
+                tuple(sorted(edge)) for edge in network.graph.edges()
+            ):
+                if rng.random() < self.link_drop_rate:
+                    events.append(LinkDrop(u, v))
+        return events
+
+
+def _noop_repair() -> RepairResult:
+    return RepairResult(
+        strategy="noop",
+        rebuilt=False,
+        parent_changed=(),
+        child_losses=(),
+        removed=(),
+        detached=(),
+        control_bits=0,
+        control_messages=0,
+        rounds=0,
+    )

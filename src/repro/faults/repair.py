@@ -1,0 +1,406 @@
+"""Self-healing spanning trees: incremental re-attachment of orphaned subtrees.
+
+When a node crashes (or a tree link drops), each of its surviving child
+subtrees becomes an *orphan unit*: an intact tree fragment with no route to
+the root.  Rebuilding the whole BFS tree from scratch costs a flood over
+every alive graph edge plus a full summary recompute — :class:`TreeRepair`
+instead re-attaches each unit through a local adoption handshake:
+
+1. compute the *attached* set — alive nodes still connected to the root via
+   surviving tree edges — and group the remaining alive nodes into orphan
+   units (maximal fragments of surviving tree edges; a rejoining node is a
+   singleton unit);
+2. grow an adoption frontier outward from the attached region: when an
+   attached node ``a`` hears an orphaned graph-neighbour ``x``, ``x`` adopts
+   ``a`` as its parent (one request + one ack on the graph edge) and the
+   unit re-roots itself at ``x`` by reversing the parent pointers along the
+   path from ``x`` to the fragment's old top — one small pointer-flip
+   message per reversed edge.  Every other member keeps its parent and
+   children untouched, which is what lets the streaming layer re-synchronise
+   only along repaired paths;
+3. repeat wave by wave until no orphan is adjacent to the attached region;
+   whatever remains is *detached* (physically cut off) and rejoins
+   automatically once connectivity returns.
+
+Nodes maintain only parent pointers and child lists — protocol traversals
+are self-timed (a node acts when its children have reported), so depth is
+simulator bookkeeping, recomputed for free like the
+:class:`~repro.network.FlatTree` arrays, and the repair traffic touches
+exactly the edges whose pointers change.
+
+When the *estimated* incremental cost exceeds ``rebuild_threshold`` times
+the estimated flood cost — or when ``strategy="rebuild"`` pins the naive
+policy for baselines — the repair falls back to rebuilding the BFS tree of
+the alive root-component from scratch, charging the flood (two tokens per
+alive edge, one parent-ack per node) that a distributed BFS construction
+costs.  The fault benchmarks measure exactly this trade.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import networkx as nx
+
+from repro.exceptions import ConfigurationError
+from repro.network.simulator import SensorNetwork
+from repro.network.spanning_tree import (
+    bfs_tree,
+    bounded_degree_tree,
+    tree_from_parents,
+)
+
+#: Valid values of :attr:`TreeRepair.strategy`.
+REPAIR_STRATEGIES = ("incremental", "rebuild")
+
+#: Adoption request an orphan sends to an attached graph-neighbour
+#: (type + epoch tag + fragment size estimate).
+ATTACH_REQUEST_BITS = 32
+#: The adopter's acknowledgement (type + its own level).
+ATTACH_ACK_BITS = 16
+#: Pointer-flip notification along the re-rooting path inside a unit.
+REVERSAL_BITS = 16
+#: One BFS-construction token, flooded over every alive edge (both
+#: directions) by the rebuild-from-scratch fallback.
+REBUILD_TOKEN_BITS = 16
+#: Parent-choice acknowledgement each node sends once during a rebuild.
+REBUILD_ACK_BITS = 16
+
+
+@dataclass(frozen=True)
+class RepairResult:
+    """What one repair pass did to the spanning tree.
+
+    ``parent_changed`` lists the nodes (attached in the new tree) whose
+    parent pointer changed — exactly the nodes whose next transmission must
+    be a full summary, since their new parent caches nothing for them.
+    ``child_losses`` lists ``(parent, lost_child)`` pairs for parents that
+    remain attached — the cache entries the streaming layer must evict.
+    ``removed`` are previously-spanned nodes no longer in the tree (crashed
+    or cut off); ``detached`` are alive nodes left without a route to the
+    root.  On a full rebuild both patch lists are empty and consumers reset
+    everything instead.
+    """
+
+    strategy: str
+    rebuilt: bool
+    parent_changed: tuple[int, ...]
+    child_losses: tuple[tuple[int, int], ...]
+    removed: tuple[int, ...]
+    detached: tuple[int, ...]
+    control_bits: int
+    control_messages: int
+    rounds: int
+
+    @property
+    def changed_anything(self) -> bool:
+        return self.strategy != "noop"
+
+
+_NOOP = RepairResult(
+    strategy="noop",
+    rebuilt=False,
+    parent_changed=(),
+    child_losses=(),
+    removed=(),
+    detached=(),
+    control_bits=0,
+    control_messages=0,
+    rounds=0,
+)
+
+
+class TreeRepair:
+    """Incremental spanning-tree repair with a rebuild-from-scratch fallback."""
+
+    def __init__(
+        self,
+        strategy: str = "incremental",
+        rebuild_threshold: float = 1.0,
+        protocol: str = "faults:repair",
+    ) -> None:
+        if strategy not in REPAIR_STRATEGIES:
+            raise ConfigurationError(
+                f"unknown repair strategy {strategy!r}; known: {REPAIR_STRATEGIES}"
+            )
+        if rebuild_threshold <= 0:
+            raise ConfigurationError(
+                f"rebuild_threshold must be positive, got {rebuild_threshold}"
+            )
+        self.strategy = strategy
+        self.rebuild_threshold = rebuild_threshold
+        self.protocol = protocol
+
+    # ------------------------------------------------------------------ #
+    # Entry point
+    # ------------------------------------------------------------------ #
+    def repair(self, network: SensorNetwork) -> RepairResult:
+        """Re-span the alive, root-connected population; return what changed.
+
+        Reads the network's graph, spanning tree and alive-mask; writes a new
+        :class:`~repro.network.SpanningTree` back to ``network.tree`` and
+        charges every control message to the ledger under
+        :attr:`protocol`.  Returns a no-op result when the existing tree
+        already spans exactly the attachable population.
+        """
+        tree = network.tree
+        graph = network.graph
+        root = network.root_id
+        if not network.is_alive(root):  # pragma: no cover - kill_node forbids it
+            raise ConfigurationError("cannot repair a network whose root is dead")
+        old_parent = tree.parent
+        old_children = tree.children
+        has_edge = graph.has_edge
+        is_alive = network.is_alive
+
+        # Survivors: BFS from the root over tree edges whose child end is
+        # alive and whose graph edge still exists.
+        attached: set[int] = {root}
+        stack = [root]
+        while stack:
+            node = stack.pop()
+            for child in old_children[node]:
+                if is_alive(child) and has_edge(child, node):
+                    attached.add(child)
+                    stack.append(child)
+
+        unattached = [
+            node for node in network.alive_node_ids() if node not in attached
+        ]
+        old_nodes = set(old_parent)
+        if not unattached and attached == old_nodes:
+            return _NOOP
+
+        if self.strategy == "rebuild":
+            return self._rebuild(network, old_nodes)
+
+        units, unit_id, unit_parent = self._orphan_units(network, unattached)
+        if units and self._should_rebuild(network, units, unattached):
+            return self._rebuild(network, old_nodes)
+        return self._incremental(
+            network, attached, units, unit_id, unit_parent, old_nodes
+        )
+
+    # ------------------------------------------------------------------ #
+    # Orphan-unit discovery
+    # ------------------------------------------------------------------ #
+    def _orphan_units(
+        self,
+        network: SensorNetwork,
+        unattached: list[int],
+    ) -> tuple[list[list[int]], dict[int, int], dict[int, int | None]]:
+        """Group unattached alive nodes into maximal surviving tree fragments.
+
+        Returns ``(units, unit_id, unit_parent)``: member lists per unit, the
+        node → unit index, and each node's surviving old parent *within its
+        unit* (``None`` at the fragment top).  A unit is a subtree of the old
+        tree, so exactly one member has no in-unit parent.
+        """
+        tree = network.tree
+        old_parent = tree.parent
+        old_children = tree.children
+        has_edge = network.graph.has_edge
+        unattached_set = set(unattached)
+        unit_id: dict[int, int] = {}
+        unit_parent: dict[int, int | None] = {}
+        units: list[list[int]] = []
+        for start in unattached:  # ascending ids: deterministic unit numbering
+            if start in unit_id:
+                continue
+            members = [start]
+            unit_id[start] = len(units)
+            queue = deque([start])
+            while queue:
+                node = queue.popleft()
+                parent = old_parent.get(node)
+                fragment_neighbors: list[int] = []
+                if (
+                    parent is not None
+                    and parent in unattached_set
+                    and has_edge(node, parent)
+                ):
+                    unit_parent[node] = parent
+                    fragment_neighbors.append(parent)
+                else:
+                    unit_parent[node] = None
+                for child in old_children.get(node, ()):
+                    if child in unattached_set and has_edge(child, node):
+                        fragment_neighbors.append(child)
+                for neighbor in fragment_neighbors:
+                    if neighbor not in unit_id:
+                        unit_id[neighbor] = unit_id[start]
+                        members.append(neighbor)
+                        queue.append(neighbor)
+            units.append(members)
+        return units, unit_id, unit_parent
+
+    def _should_rebuild(
+        self,
+        network: SensorNetwork,
+        units: list[list[int]],
+        unattached: list[int],
+    ) -> bool:
+        """Compare the incremental cost upper bound against the flood estimate."""
+        estimated_incremental = len(units) * (
+            ATTACH_REQUEST_BITS + ATTACH_ACK_BITS
+        ) + len(unattached) * REVERSAL_BITS
+        is_alive = network.is_alive
+        alive_edges = sum(
+            1 for u, v in network.graph.edges() if is_alive(u) and is_alive(v)
+        )
+        estimated_rebuild = (
+            2 * alive_edges + network.num_alive
+        ) * REBUILD_TOKEN_BITS
+        return estimated_incremental > self.rebuild_threshold * estimated_rebuild
+
+    # ------------------------------------------------------------------ #
+    # Incremental adoption
+    # ------------------------------------------------------------------ #
+    def _incremental(
+        self,
+        network: SensorNetwork,
+        attached: set[int],
+        units: list[list[int]],
+        unit_id: dict[int, int],
+        unit_parent: dict[int, int | None],
+        old_nodes: set[int],
+    ) -> RepairResult:
+        graph = network.graph
+        old_parent = network.tree.parent
+        is_alive = network.is_alive
+        new_parent: dict[int, int | None] = {
+            node: old_parent[node] for node in attached
+        }
+        links: list[tuple[int, int]] = []
+        sizes: list[int] = []
+        parent_changed: list[int] = []
+        waves = 0
+        frontier = sorted(attached)
+        while frontier:
+            next_frontier: list[int] = []
+            for adopter in frontier:
+                for orphan in sorted(graph.neighbors(adopter)):
+                    if orphan in attached or not is_alive(orphan):
+                        continue
+                    # Adopt the orphan's whole unit at this contact point.
+                    links.append((orphan, adopter))
+                    sizes.append(ATTACH_REQUEST_BITS)
+                    links.append((adopter, orphan))
+                    sizes.append(ATTACH_ACK_BITS)
+                    new_parent[orphan] = adopter
+                    parent_changed.append(orphan)
+                    # Re-root the fragment at the contact point: reverse the
+                    # parent pointers on the path up to the fragment top.
+                    child = orphan
+                    ancestor = unit_parent[orphan]
+                    while ancestor is not None:
+                        links.append((child, ancestor))
+                        sizes.append(REVERSAL_BITS)
+                        new_parent[ancestor] = child
+                        parent_changed.append(ancestor)
+                        child = ancestor
+                        ancestor = unit_parent[ancestor]
+                    for member in units[unit_id[orphan]]:
+                        if member not in new_parent:
+                            # Off the reversal path: pointers are untouched.
+                            new_parent[member] = unit_parent[member]
+                        attached.add(member)
+                        next_frontier.append(member)
+            if next_frontier:
+                waves += 1
+            frontier = next_frontier
+
+        detached = tuple(
+            node for node in sorted(unit_id) if node not in attached
+        )
+        child_losses: list[tuple[int, int]] = []
+        for child, parent in old_parent.items():
+            if parent is None or parent not in attached:
+                continue
+            if new_parent.get(child) != parent:
+                child_losses.append((parent, child))
+        removed = tuple(sorted(old_nodes - attached))
+
+        network.tree = tree_from_parents(
+            network.root_id, {node: new_parent[node] for node in attached}
+        )
+        control_bits, control_messages = self._charge(network, links, sizes, waves)
+        return RepairResult(
+            strategy="incremental",
+            rebuilt=False,
+            parent_changed=tuple(parent_changed),
+            child_losses=tuple(sorted(child_losses)),
+            removed=removed,
+            detached=detached,
+            control_bits=control_bits,
+            control_messages=control_messages,
+            rounds=waves,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Rebuild-from-scratch fallback
+    # ------------------------------------------------------------------ #
+    def _rebuild(self, network: SensorNetwork, old_nodes: set[int]) -> RepairResult:
+        graph = network.graph
+        root = network.root_id
+        alive = set(network.alive_node_ids())
+        component = nx.node_connected_component(graph.subgraph(alive), root)
+        component_graph = graph.subgraph(component)
+        if network.degree_bound is None:
+            tree = bfs_tree(component_graph, root)
+        else:
+            tree = bounded_degree_tree(
+                component_graph, root, max_degree=network.degree_bound
+            )
+        # A distributed BFS construction floods a token over every usable
+        # edge in both directions, then every node acks its chosen parent.
+        links: list[tuple[int, int]] = []
+        sizes: list[int] = []
+        for u, v in component_graph.edges():
+            links.append((u, v))
+            sizes.append(REBUILD_TOKEN_BITS)
+            links.append((v, u))
+            sizes.append(REBUILD_TOKEN_BITS)
+        for node, parent in tree.parent.items():
+            if parent is not None:
+                links.append((node, parent))
+                sizes.append(REBUILD_ACK_BITS)
+        network.tree = tree
+        rounds = tree.height + 1
+        control_bits, control_messages = self._charge(network, links, sizes, rounds)
+        return RepairResult(
+            strategy="rebuild",
+            rebuilt=True,
+            parent_changed=(),
+            child_losses=(),
+            removed=tuple(sorted(old_nodes - component)),
+            detached=tuple(sorted(alive - component)),
+            control_bits=control_bits,
+            control_messages=control_messages,
+            rounds=rounds,
+        )
+
+    def _charge(
+        self,
+        network: SensorNetwork,
+        links: list[tuple[int, int]],
+        sizes: list[int],
+        rounds: int,
+    ) -> tuple[int, int]:
+        """Charge the control traffic (plus rounds) and return (bits, messages).
+
+        Uses :meth:`~repro.network.SensorNetwork.send_batch` so lossy-radio
+        retries inflate the measured repair cost exactly as they would any
+        protocol — and so repair charges identically under both execution
+        modes (it never branches on ``network.execution``).
+        """
+        before = network.ledger.counters_snapshot()
+        if links:
+            network.send_batch(links, sizes, protocol=self.protocol, require_edge=False)
+        network.ledger.advance_round(rounds)
+        after = network.ledger.counters_snapshot()
+        return (
+            after.total_bits - before.total_bits,
+            after.messages - before.messages,
+        )

@@ -1,0 +1,132 @@
+"""Per-epoch measurement records for runs under fault injection.
+
+A :class:`FaultTrace` is the resilience counterpart of
+:class:`~repro.streaming.StreamingTrace`: one record per epoch splitting the
+traffic into *repair* control bits (adoption handshakes, pointer flips, or
+the rebuild flood) and *query* bits (the streaming engine's summary
+re-synchronisation), alongside the fault events applied, the surviving
+population, and the answer error against the attached ground truth.  The
+fault benchmarks consume traces to show that incremental repair plus delta
+re-sync beats rebuild-and-recompute.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+
+@dataclass(frozen=True)
+class FaultEpochRecord:
+    """Everything measured during one epoch of a faulty run."""
+
+    epoch: int
+    crashes: int
+    rejoins: int
+    link_drops: int
+    link_restores: int
+    reparented: int
+    rebuilt: bool
+    detached: int
+    alive: int
+    attached: int
+    repair_bits: int
+    repair_messages: int
+    query_bits: int
+    total_bits: int
+    messages: int
+    rounds: int
+    energy_nj: float
+    dirty_nodes: int
+    transmissions: int
+    suppressions: int
+    answers: dict[str, Any] = field(default_factory=dict)
+    truths: dict[str, float] = field(default_factory=dict)
+    errors: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def had_faults(self) -> bool:
+        """Whether any fault event or repair activity happened this epoch."""
+        return (
+            self.crashes + self.rejoins + self.link_drops + self.link_restores > 0
+            or self.rebuilt
+            or self.reparented > 0
+        )
+
+
+@dataclass
+class FaultTrace:
+    """The epoch-by-epoch history of one run under fault injection."""
+
+    records: list[FaultEpochRecord] = field(default_factory=list)
+
+    def append(self, record: FaultEpochRecord) -> None:
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[FaultEpochRecord]:
+        return iter(self.records)
+
+    def __getitem__(self, index: int) -> FaultEpochRecord:
+        return self.records[index]
+
+    @property
+    def total_bits(self) -> int:
+        return sum(record.total_bits for record in self.records)
+
+    @property
+    def total_repair_bits(self) -> int:
+        return sum(record.repair_bits for record in self.records)
+
+    @property
+    def total_query_bits(self) -> int:
+        return sum(record.query_bits for record in self.records)
+
+    @property
+    def total_energy_nj(self) -> float:
+        return sum(record.energy_nj for record in self.records)
+
+    @property
+    def total_crashes(self) -> int:
+        return sum(record.crashes for record in self.records)
+
+    @property
+    def total_rejoins(self) -> int:
+        return sum(record.rejoins for record in self.records)
+
+    @property
+    def rebuild_count(self) -> int:
+        return sum(1 for record in self.records if record.rebuilt)
+
+    def fault_epochs(self) -> list[int]:
+        """Epochs in which faults were applied or the tree was patched."""
+        return [record.epoch for record in self.records if record.had_faults]
+
+    @property
+    def fault_epoch_bits(self) -> int:
+        """Total bits (repair + queries) charged during fault epochs.
+
+        This is the cost *attributable to surviving the faults*: outside
+        fault epochs the incremental and naive policies behave identically,
+        so the benchmarks compare exactly this figure.
+        """
+        return sum(
+            record.total_bits for record in self.records if record.had_faults
+        )
+
+    def max_answer_error(self, name: str) -> float:
+        """Largest per-epoch absolute error recorded for query ``name``."""
+        return max(
+            (record.errors[name] for record in self.records if name in record.errors),
+            default=0.0,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug convenience
+        return (
+            f"FaultTrace(epochs={len(self.records)}, "
+            f"repair_bits={self.total_repair_bits}, "
+            f"query_bits={self.total_query_bits}, "
+            f"rebuilds={self.rebuild_count})"
+        )

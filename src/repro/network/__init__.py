@@ -26,7 +26,12 @@ from repro.network.radio import (
 )
 from repro.network.scheduler import RoundEngine
 from repro.network.simulator import EXECUTION_MODES, SensorNetwork
-from repro.network.spanning_tree import SpanningTree, bfs_tree, bounded_degree_tree
+from repro.network.spanning_tree import (
+    SpanningTree,
+    bfs_tree,
+    bounded_degree_tree,
+    tree_from_parents,
+)
 from repro.network.topology import (
     balanced_tree_topology,
     grid_topology,
@@ -57,6 +62,7 @@ __all__ = [
     "SpanningTree",
     "bfs_tree",
     "bounded_degree_tree",
+    "tree_from_parents",
     "balanced_tree_topology",
     "grid_topology",
     "line_topology",

@@ -110,7 +110,15 @@ class FlatTree:
 
     @classmethod
     def from_spanning_tree(cls, tree: SpanningTree) -> "FlatTree":
-        """Build the flat representation of ``tree`` (alias for the constructor)."""
+        """Build the flat representation after validating ``tree``'s structure.
+
+        Runs :meth:`SpanningTree.check_invariants` first — parent pointers,
+        child lists and depths must be mutually consistent — so a malformed
+        tree (e.g. produced by a buggy incremental repair) raises
+        :class:`~repro.exceptions.TopologyError` here instead of silently
+        corrupting every batched sweep built on the arrays.
+        """
+        tree.check_invariants()
         return cls(tree)
 
     # ------------------------------------------------------------------ #

@@ -16,6 +16,13 @@ protocols and read back results; all costs are incurred edge by edge.  The
 two charging paths are bit-for-bit equivalent — the batched primitives exist
 purely so the simulator scales to 100k-node fields; see
 :attr:`SensorNetwork.execution` for how protocols pick a path.
+
+Nodes can crash and recover: the network carries an *alive-mask*
+(:meth:`SensorNetwork.kill_node` / :meth:`SensorNetwork.revive_node`)
+honoured identically by both charging paths — any transmission touching a
+dead node raises :class:`~repro.exceptions.DeadNodeError`.  The
+fault-tolerance engine (:mod:`repro.faults`) drives the mask and keeps the
+spanning tree spanning the alive, root-connected population.
 """
 
 from __future__ import annotations
@@ -27,6 +34,7 @@ import networkx as nx
 from repro._util.validation import require_non_negative
 from repro.exceptions import (
     ConfigurationError,
+    DeadNodeError,
     DeliveryError,
     EmptyNetworkError,
     TopologyError,
@@ -75,6 +83,7 @@ class SensorNetwork:
             for node_id in graph.nodes()
         }
         self._sorted_ids: list[int] = sorted(self._nodes)
+        self._dead: set[int] = set()
         self._flat_tree: FlatTree | None = None
         self._flat_tree_source: SpanningTree | None = None
         self.degree_bound = degree_bound
@@ -185,7 +194,7 @@ class SensorNetwork:
         invalidates it automatically.
         """
         if self._flat_tree is None or self._flat_tree_source is not self.tree:
-            self._flat_tree = FlatTree(self.tree)
+            self._flat_tree = FlatTree.from_spanning_tree(self.tree)
             self._flat_tree_source = self.tree
         return self._flat_tree
 
@@ -251,6 +260,70 @@ class SensorNetwork:
             node.reset_scratch()
 
     # ------------------------------------------------------------------ #
+    # Liveness (the alive-mask consumed by the fault-tolerance engine)
+    # ------------------------------------------------------------------ #
+    def is_alive(self, node_id: int) -> bool:
+        """Whether ``node_id`` is currently alive (crashed nodes are not)."""
+        return node_id not in self._dead
+
+    def kill_node(self, node_id: int) -> None:
+        """Crash ``node_id``: it loses its readings and scratch state and can
+        neither send nor receive until revived.
+
+        The root cannot crash — it is the node wired to the user entity, so a
+        network without it has no observer to answer queries for.  Killing an
+        already-dead node is a no-op.  The spanning tree is *not* patched
+        here; that is :class:`~repro.faults.TreeRepair`'s job, so repair cost
+        is charged explicitly rather than hidden in a setter.
+        """
+        if node_id == self.root_id:
+            raise ConfigurationError(
+                "the root cannot crash; it is the query-issuing node"
+            )
+        node = self.node(node_id)
+        self._dead.add(node_id)
+        node.clear_items()
+        node.reset_scratch()
+
+    def revive_node(self, node_id: int) -> None:
+        """Bring a crashed node back (with no items; rejoin supplies fresh ones)."""
+        self.node(node_id)
+        self._dead.discard(node_id)
+
+    def alive_node_ids(self) -> list[int]:
+        """Ids of currently-alive nodes, in ascending order."""
+        if not self._dead:
+            return list(self._sorted_ids)
+        dead = self._dead
+        return [node_id for node_id in self._sorted_ids if node_id not in dead]
+
+    def dead_node_ids(self) -> list[int]:
+        """Ids of currently-crashed nodes, in ascending order."""
+        return sorted(self._dead)
+
+    @property
+    def num_alive(self) -> int:
+        return len(self._nodes) - len(self._dead)
+
+    def attached_node_ids(self) -> list[int]:
+        """Nodes the current spanning tree spans (alive and root-connected)."""
+        return sorted(self.tree.parent)
+
+    def attached_items(self) -> list[int]:
+        """Ground-truth multiset over tree-attached nodes (verification only).
+
+        Under faults this — not :meth:`all_items` — is the answerable truth:
+        readings at crashed or cut-off nodes cannot reach the root under any
+        protocol, so answer accuracy is measured against the attached
+        population.
+        """
+        nodes = self._nodes
+        items: list[int] = []
+        for node_id in sorted(self.tree.parent):
+            items.extend(nodes[node_id].items)
+        return items
+
+    # ------------------------------------------------------------------ #
     # Communication
     # ------------------------------------------------------------------ #
     def send(
@@ -273,6 +346,11 @@ class SensorNetwork:
         if sender not in self._nodes or receiver not in self._nodes:
             raise ConfigurationError(
                 f"send between unknown nodes {sender} -> {receiver}"
+            )
+        if sender in self._dead or receiver in self._dead:
+            raise DeadNodeError(
+                f"send between dead nodes {sender} -> {receiver}; repair the "
+                "tree before running protocols over a faulted network"
             )
         if require_edge and not self.graph.has_edge(sender, receiver):
             raise TopologyError(
@@ -337,12 +415,18 @@ class SensorNetwork:
                 f"send_batch got {len(links)} links but {len(sizes)} sizes"
             )
         nodes = self._nodes
+        dead = self._dead
         if require_edge:
             has_edge = self.graph.has_edge
             for sender, receiver in links:
                 if sender not in nodes or receiver not in nodes:
                     raise ConfigurationError(
                         f"send between unknown nodes {sender} -> {receiver}"
+                    )
+                if sender in dead or receiver in dead:
+                    raise DeadNodeError(
+                        f"send between dead nodes {sender} -> {receiver}; "
+                        "repair the tree before running protocols"
                     )
                 if not has_edge(sender, receiver):
                     raise TopologyError(
@@ -357,6 +441,11 @@ class SensorNetwork:
                 if sender not in nodes or receiver not in nodes:
                     raise ConfigurationError(
                         f"send between unknown nodes {sender} -> {receiver}"
+                    )
+                if sender in dead or receiver in dead:
+                    raise DeadNodeError(
+                        f"send between dead nodes {sender} -> {receiver}; "
+                        "repair the tree before running protocols"
                     )
         if self.ledger.per_node_budget_bits is not None:
             # Budget enforcement must interleave radio draws and charges

@@ -82,10 +82,69 @@ class SpanningTree:
             path.append(self.parent[path[-1]])
         return path
 
-    def validate(self, graph: nx.Graph) -> None:
-        """Check that this is a spanning tree of ``graph`` rooted at ``root``."""
-        if set(self.parent) != set(graph.nodes()):
-            raise TopologyError("tree does not span all graph nodes")
+    def check_invariants(self) -> None:
+        """Graph-free structural validation: parent/children/depth consistency.
+
+        Checks that the three maps agree on the node set, that parent pointers
+        and child lists mirror each other exactly (every non-root node appears
+        in precisely one child list — its parent's), and that depths increase
+        by one along every edge with the root at depth zero.  Depth consistency
+        plus a parent for every non-root node implies the structure is an
+        acyclic tree reaching the root, so this runs in O(n) with no graph.
+
+        :class:`~repro.network.flat_tree.FlatTree.from_spanning_tree` calls
+        this before freezing a tree into arrays, so a malformed tree (e.g. a
+        buggy incremental repair) fails fast instead of corrupting batched
+        sweeps.
+        """
+        nodes = set(self.parent)
+        if set(self.children) != nodes or set(self.depth) != nodes:
+            raise TopologyError("parent/children/depth maps cover different nodes")
+        if self.root not in nodes:
+            raise TopologyError(f"root {self.root} is not a tree node")
+        if self.parent[self.root] is not None:
+            raise TopologyError("root must have no parent")
+        if self.depth[self.root] != 0:
+            raise TopologyError("root must have depth 0")
+        listed_parent: dict[int, int] = {}
+        for node, kids in self.children.items():
+            for child in kids:
+                if child in listed_parent:
+                    raise TopologyError(
+                        f"node {child} appears in more than one child list"
+                    )
+                listed_parent[child] = node
+        if self.root in listed_parent:
+            raise TopologyError("root appears in a child list")
+        for node, parent in self.parent.items():
+            if parent is None:
+                if node != self.root:
+                    raise TopologyError(f"non-root node {node} has no parent")
+                continue
+            if parent not in nodes:
+                raise TopologyError(
+                    f"parent {parent} of node {node} is not a tree node"
+                )
+            if listed_parent.get(node) != parent:
+                raise TopologyError(
+                    f"child list of {parent} does not contain {node}"
+                )
+            if self.depth[node] != self.depth[parent] + 1:
+                raise TopologyError(
+                    f"depth of {node} is {self.depth[node]}, expected "
+                    f"{self.depth[parent] + 1} (one below parent {parent})"
+                )
+
+    def validate(self, graph: nx.Graph, covering: set[int] | None = None) -> None:
+        """Check that this is a spanning tree of ``graph`` rooted at ``root``.
+
+        ``covering`` overrides the node set the tree must span; the default is
+        every graph node.  A tree repaired after crashes spans only the alive,
+        root-connected subset, which is what the fault test-suite passes here.
+        """
+        expected = set(graph.nodes()) if covering is None else set(covering)
+        if set(self.parent) != expected:
+            raise TopologyError("tree does not span the expected node set")
         if self.parent[self.root] is not None:
             raise TopologyError("root must have no parent")
         for node, parent in self.parent.items():
@@ -112,7 +171,11 @@ class SpanningTree:
                 raise TopologyError(f"node {node} cannot reach the root")
 
 
-def _tree_from_parents(root: int, parent: dict[int, int | None]) -> SpanningTree:
+def tree_from_parents(root: int, parent: dict[int, int | None]) -> SpanningTree:
+    """Build a :class:`SpanningTree` from a parent map (children sorted, depths
+    recomputed).  Raises :class:`~repro.exceptions.TopologyError` when the map
+    does not describe one connected tree rooted at ``root``.  Used by the BFS
+    constructions here and by the incremental fault repair."""
     children: dict[int, list[int]] = {node: [] for node in parent}
     for node, par in parent.items():
         if par is not None:
@@ -145,7 +208,7 @@ def bfs_tree(graph: nx.Graph, root: int = 0) -> SpanningTree:
             if neighbor not in parent:
                 parent[neighbor] = current
                 queue.append(neighbor)
-    return _tree_from_parents(root, parent)
+    return tree_from_parents(root, parent)
 
 
 def bounded_degree_tree(
@@ -212,6 +275,6 @@ def bounded_degree_tree(
                     break
                 if not moved:
                     break
-    rebuilt = _tree_from_parents(root, parent)
+    rebuilt = tree_from_parents(root, parent)
     rebuilt.validate(graph)
     return rebuilt

@@ -64,7 +64,14 @@ def epoch_convergecast(
     outside it is still activated if a descendant's update reaches it.  When
     nothing is dirty the traversal is skipped entirely and costs zero rounds,
     zero bits — the property that makes steady-state epochs free.
+
+    Dirty nodes the current spanning tree does not span (crashed or cut off
+    after a fault) are ignored on both execution paths: they have no route to
+    the root until a repair re-attaches them.
     """
+    if dirty:
+        depth_of = network.tree.depth
+        dirty = {node for node in dirty if node in depth_of}
     if not dirty:
         return EpochStats(rounds=0, activated=0, transmissions=0, suppressions=0)
     if network.execution == "per-edge":
@@ -153,7 +160,9 @@ def _epoch_convergecast_per_edge(
     ) -> dict[int, tuple[object, int]]:
         for sender, payload in inbox:  # duplicated deliveries overwrite: idempotent
             received.setdefault(node_id, {})[sender] = payload
-        depth = tree.depth[node_id]
+        depth = tree.depth.get(node_id)
+        if depth is None:  # crashed or cut off: not spanned by the repaired tree
+            return {}
         if depth > deepest or deepest - depth != current["round"]:
             return {}
         updates = received.pop(node_id, {})

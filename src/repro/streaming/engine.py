@@ -80,6 +80,7 @@ class ContinuousQueryEngine:
         self.trace = StreamingTrace()
         self._queries: dict[str, _QueryState] = {}
         self._answers: dict[str, Any] = {}
+        self._pending_dirty: set[int] = set()
 
     # ------------------------------------------------------------------ #
     # Registration
@@ -98,7 +99,8 @@ class ContinuousQueryEngine:
         self._queries[name] = _QueryState(
             query=query,
             nodes={
-                node_id: _NodeQueryState() for node_id in self.network.node_ids()
+                node_id: _NodeQueryState()
+                for node_id in self.network.attached_node_ids()
             },
         )
         if announce:
@@ -121,6 +123,67 @@ class ContinuousQueryEngine:
     def epoch(self) -> int:
         """Number of epochs advanced so far."""
         return len(self.trace)
+
+    # ------------------------------------------------------------------ #
+    # Fault recovery
+    # ------------------------------------------------------------------ #
+    def apply_repair(self, result) -> None:
+        """Re-synchronise the summary caches after a spanning-tree repair.
+
+        ``result`` is a :class:`~repro.faults.RepairResult` (duck-typed, so
+        the streaming layer does not import the faults package).  The
+        recovery protocol re-transmits only along repaired paths:
+
+        * nodes whose parent changed forget what they last transmitted (the
+          new parent caches nothing for them) and are marked dirty — their
+          next transmission is one full subtree summary, after which deltas
+          resume;
+        * parents that lost a child evict that child's cached summary and
+          are marked dirty, so the loss propagates up as deltas;
+        * crashed / cut-off nodes are dropped from the per-query state;
+          every *other* node's caches remain valid and it stays silent.
+
+        Only a full rebuild (``result.rebuilt``) resets every cache — that
+        is exactly the recompute cost the incremental path avoids, and what
+        the fault benchmarks measure.
+        """
+        if result is None or not getattr(result, "changed_anything", True):
+            return
+        tree_nodes = self.network.tree.parent
+        if result.rebuilt:
+            for state in self._queries.values():
+                state.nodes = {
+                    node_id: _NodeQueryState() for node_id in tree_nodes
+                }
+                state.initialized = False
+            self._pending_dirty = set(tree_nodes)
+            return
+        dirty: set[int] = set()
+        removed = set(result.removed)
+        for state in self._queries.values():
+            nodes = state.nodes
+            for node_id in removed:
+                nodes.pop(node_id, None)
+            for parent, child in result.child_losses:
+                parent_state = nodes.get(parent)
+                if parent_state is not None:
+                    parent_state.children.pop(child, None)
+                    dirty.add(parent)
+            for node_id in result.parent_changed:
+                node_state = nodes.get(node_id)
+                if node_state is None:
+                    node_state = nodes[node_id] = _NodeQueryState()
+                node_state.transmitted = None
+                dirty.add(node_id)
+            # Nodes that re-entered the tree after being dropped in an
+            # earlier repair (a region detached for several epochs) need
+            # fresh state and a full retransmission, even off the reversal
+            # path — their old caches died with the states.
+            for node_id in tree_nodes:
+                if node_id not in nodes:
+                    nodes[node_id] = _NodeQueryState()
+                    dirty.add(node_id)
+        self._pending_dirty |= {node for node in dirty if node in tree_nodes}
 
     # ------------------------------------------------------------------ #
     # Epoch execution
@@ -147,10 +210,17 @@ class ContinuousQueryEngine:
             {node_id: list(items) for node_id, items in updates.items()}
         )
 
+        # Nodes marked dirty by a tree repair (see apply_repair) join this
+        # epoch's traversal for every query, then the backlog is cleared.
+        pending = self._pending_dirty
+        self._pending_dirty = set()
+        tree_nodes = self.network.tree.parent
         total_dirty: set[int] = set()
         stats_total = {"transmissions": 0, "suppressions": 0}
         for name, state in self._queries.items():
             dirty = self._refresh_local_summaries(state, updates)
+            dirty |= pending
+            dirty = {node for node in dirty if node in tree_nodes}
             total_dirty |= dirty
             stats = self._run_query_epoch(name, state, dirty)
             stats_total["transmissions"] += stats.transmissions
@@ -180,15 +250,23 @@ class ContinuousQueryEngine:
     def _refresh_local_summaries(
         self, state: _QueryState, updates: Mapping[int, Sequence[int]]
     ) -> set[int]:
-        """Recompute local summaries of updated nodes; return the dirty set."""
+        """Recompute local summaries of updated nodes; return the dirty set.
+
+        Updates addressed to nodes the engine no longer tracks (crashed or
+        cut off by faults) are ignored — their readings cannot reach the
+        root until a repair re-attaches them, at which point
+        :meth:`apply_repair` recreates their state.
+        """
         if state.initialized:
             candidates = set(updates)
         else:
-            candidates = set(self.network.node_ids())
+            candidates = set(state.nodes)
             state.initialized = True
         dirty: set[int] = set()
         for node_id in candidates:
-            node_state = state.nodes[node_id]
+            node_state = state.nodes.get(node_id)
+            if node_state is None:
+                continue
             new_local = state.query.local_summary(self.network.node(node_id).items)
             if node_state.local is None or not new_local.same_as(node_state.local):
                 node_state.local = new_local

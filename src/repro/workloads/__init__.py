@@ -5,6 +5,9 @@
 * :mod:`repro.workloads.streams` — stateful per-epoch update processes
   (drift, burst, churn, seasonal) that drive the continuous-query engine in
   :mod:`repro.streaming`.
+* :mod:`repro.workloads.faults` — deterministic failure scenarios (crash
+  storms, correlated regional outages, churn with rejoin, link storms) as
+  :class:`~repro.faults.FaultScript` builders for the fault engine.
 """
 
 from repro.workloads.generators import (
@@ -18,6 +21,13 @@ from repro.workloads.generators import (
     sequential_values,
     uniform_values,
     zipf_values,
+)
+from repro.workloads.faults import (
+    FAULT_SCENARIOS,
+    churn_script,
+    crash_storm_script,
+    link_storm_script,
+    regional_outage_script,
 )
 from repro.workloads.streams import (
     STREAM_WORKLOADS,
@@ -47,4 +57,9 @@ __all__ = [
     "ChurnStream",
     "SeasonalStream",
     "make_stream",
+    "FAULT_SCENARIOS",
+    "crash_storm_script",
+    "regional_outage_script",
+    "churn_script",
+    "link_storm_script",
 ]

@@ -31,6 +31,7 @@ import math
 from repro._util.randomness import make_rng
 from repro._util.validation import require_non_negative, require_positive, require_probability
 from repro.exceptions import ConfigurationError
+from repro.faults.events import NodeCrash, NodeRejoin
 
 
 class StreamWorkload(abc.ABC):
@@ -171,10 +172,22 @@ class ChurnStream(StreamWorkload):
     """Sensors fail and rejoin: population changes dominate value changes.
 
     Each epoch every node independently toggles with probability
-    ``churn_rate``: an online node goes offline (its item list becomes empty)
-    and an offline node rejoins with a fresh uniform reading.  Node 0 — the
-    root in the default network construction — is pinned online so the query
-    engine always has an answering node.
+    ``churn_rate``: an online node goes offline and an offline node rejoins
+    with a fresh uniform reading.  Node 0 — the root in the default network
+    construction — is pinned online so the query engine always has an
+    answering node.
+
+    Two fault models are supported.  In the default *compatibility mode*
+    (``emit_events=False``) churn is silent: an offline node's update is an
+    empty item list and a rejoin is a plain value update, so the network
+    topology never changes — the engine merely sees readings vanish.  With
+    ``emit_events=True`` the stream instead emits explicit
+    :class:`~repro.faults.NodeCrash` / :class:`~repro.faults.NodeRejoin`
+    events (collected via :meth:`pop_fault_events`) for the
+    :class:`~repro.faults.FaultEngine` to apply, and :meth:`step` returns no
+    entry for churned nodes at all — the fault engine owns item loss and
+    fresh readings.  Both modes draw identical randomness, so one seed
+    reproduces the same churn trajectory either way.
     """
 
     name = "churn"
@@ -185,17 +198,21 @@ class ChurnStream(StreamWorkload):
         max_value: int = 1 << 16,
         seed: int | None = 0,
         churn_rate: float = 0.05,
+        emit_events: bool = False,
     ) -> None:
         super().__init__(num_nodes, max_value=max_value, seed=seed)
         self.churn_rate = require_probability(churn_rate, "churn_rate")
+        self.emit_events = emit_events
         self._values: list[int] = []
         self._online: list[bool] = []
+        self._pending_events: list[object] = []
 
     def initial(self) -> dict[int, list[int]]:
         self._values = [
             self._rng.randint(0, self.max_value) for _ in range(self.num_nodes)
         ]
         self._online = [True] * self.num_nodes
+        self._pending_events = []
         return {node: [value] for node, value in enumerate(self._values)}
 
     def step(self, epoch: int) -> dict[int, list[int]]:
@@ -208,12 +225,30 @@ class ChurnStream(StreamWorkload):
                 continue  # the root stays online
             if self._online[node]:
                 self._online[node] = False
-                updates[node] = []
+                if self.emit_events:
+                    self._pending_events.append(NodeCrash(node))
+                else:
+                    updates[node] = []
             else:
                 self._online[node] = True
                 self._values[node] = self._rng.randint(0, self.max_value)
-                updates[node] = [self._values[node]]
+                if self.emit_events:
+                    self._pending_events.append(
+                        NodeRejoin(node, items=(self._values[node],))
+                    )
+                else:
+                    updates[node] = [self._values[node]]
         return updates
+
+    def pop_fault_events(self) -> list[object]:
+        """Return (and clear) the fault events produced by the last step.
+
+        Empty unless ``emit_events=True``.  The fault-aware stream runner
+        (:func:`~repro.faults.run_faulty_stream`) calls this each epoch and
+        hands the events to the fault engine.
+        """
+        events, self._pending_events = self._pending_events, []
+        return events
 
     def online_count(self) -> int:
         """Number of currently-online sensors (ground truth for tests)."""

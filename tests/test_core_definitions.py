@@ -5,7 +5,6 @@ import pytest
 from repro.core.definitions import (
     approximate_order_statistic_interval,
     is_approximate_median,
-    is_approximate_order_statistic,
     is_median,
     is_order_statistic,
     rank,
@@ -88,8 +87,7 @@ class TestApproximateDefinition:
         assert is_approximate_median(items, median, alpha=0.0, beta=0.0)
 
     def test_value_slack_beta(self):
-        items = [0, 100, 200, 300, 400]
-        median = 200
+        items = [0, 100, 200, 300, 400]  # the median is 200
         # 210 is not a median but is within 0.05 * 400 = 20 of one.
         assert not is_median(items, 210)
         assert is_approximate_median(items, 210, alpha=0.0, beta=0.05)

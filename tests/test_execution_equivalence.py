@@ -270,3 +270,112 @@ def test_deterministic_median_is_ledger_identical(seed):
     assert outcomes[0].value.median == outcomes[1].value.median
     assert outcomes[0] == outcomes[1]
     assert_ledgers_identical(batched, per_edge)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("radio_name", sorted(RADIOS))
+@pytest.mark.parametrize("topology", ["grid", "random_geometric"])
+def test_faulted_sweeps_are_ledger_identical(topology, radio_name, seed):
+    """Crash storm + rejoin + link storm, then every tree sweep, on both paths.
+
+    The alive-mask, the incremental tree repair and the recovery traversals
+    must charge bit-for-bit identically whether the execution core is batched
+    or per-edge — including the repair control traffic itself, which goes
+    through ``send_batch`` on both.
+    """
+    from repro.faults import FaultEngine, TreeRepair
+    from repro.workloads.faults import crash_storm_script, link_storm_script
+
+    batched, per_edge = twin_networks(topology, radio_name, seed)
+    rng = random.Random(seed + 77)
+    # One shared dirty set per epoch (drawn once, over ids common to both
+    # twins), deliberately including crashed/detached ids: both paths must
+    # ignore nodes outside the repaired tree identically.
+    dirty_sets = {
+        epoch: {
+            node_id
+            for node_id in batched.node_ids()
+            if rng.random() < 0.4 or epoch == 1
+        }
+        for epoch in (0, 1)
+    }
+    results = []
+    stats = []
+    for network in (batched, per_edge):
+        script = crash_storm_script(
+            network.node_ids(), epoch=0, fraction=0.2, seed=seed, rejoin_epoch=1
+        ).merge(
+            link_storm_script(
+                network.graph, epoch=0, fraction=0.1, seed=seed, restore_epoch=1
+            )
+        )
+        faults = FaultEngine(network, script=script, repair=TreeRepair())
+        for epoch in (0, 1):
+            faults.step(epoch)
+            broadcast(network, "query", 24, protocol="request")
+            results.append(
+                convergecast(
+                    network,
+                    local_value=lambda node: sum(node.items),
+                    combine=lambda a, b: a + b,
+                    size_bits=lambda value: max(8, value.bit_length()),
+                    protocol="sum",
+                )
+            )
+            stats.append(
+                epoch_convergecast(
+                    network,
+                    set(dirty_sets[epoch]),
+                    lambda nid, upd: None if nid % 7 == 0 else ("s", 8 + nid % 5),
+                    protocol="epoch",
+                )
+            )
+    half = len(results) // 2
+    assert results[:half] == results[half:]
+    assert stats[:half] == stats[half:]
+    assert_ledgers_identical(batched, per_edge)
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_faulted_streaming_engines_are_ledger_identical(seed):
+    """The full resilient stack (faults + repair + recovery) on both paths."""
+    from repro.faults import FaultEngine, run_faulty_stream
+    from repro.streaming.engine import ContinuousQueryEngine
+    from repro.streaming.queries import CountQuery
+    from repro.workloads.faults import crash_storm_script
+    from repro.workloads.streams import DriftStream
+
+    nets = []
+    traces = []
+    for mode in ("batched", "per-edge"):
+        network = SensorNetwork.from_items(
+            [0] * 36,
+            topology="grid",
+            seed=seed,
+            radio=LossyRadio(loss_rate=0.25, seed=seed),
+            execution=mode,
+        )
+        network.clear_items()
+        engine = ContinuousQueryEngine(network, epsilon=0.0)
+        engine.register("count", CountQuery())
+        script = crash_storm_script(
+            network.node_ids(), epoch=1, fraction=0.2, seed=seed, rejoin_epoch=3
+        )
+        faults = FaultEngine(network, script=script)
+        traces.append(
+            run_faulty_stream(
+                engine,
+                DriftStream(36, max_value=512, seed=seed),
+                faults,
+                epochs=5,
+            )
+        )
+        nets.append(network)
+    assert [record.answers for record in traces[0]] == [
+        record.answers for record in traces[1]
+    ]
+    assert [record.total_bits for record in traces[0]] == [
+        record.total_bits for record in traces[1]
+    ]
+    assert_ledgers_identical(*nets)
+    assert nets[0].radio._rng.getstate() == nets[1].radio._rng.getstate()

@@ -1,0 +1,163 @@
+"""FlatTree on degenerate topologies, and fail-fast invariant validation."""
+
+import pytest
+
+from repro.exceptions import TopologyError
+from repro.network.flat_tree import FlatTree
+from repro.network.simulator import SensorNetwork
+from repro.network.spanning_tree import SpanningTree, bfs_tree, tree_from_parents
+from repro.network.topology import line_topology, star_topology
+
+
+def line_tree(num_nodes):
+    return bfs_tree(line_topology(num_nodes), root=0)
+
+
+def star_tree(num_nodes):
+    return bfs_tree(star_topology(num_nodes), root=0)
+
+
+class TestSingleNode:
+    def test_arrays(self):
+        flat = FlatTree.from_spanning_tree(line_tree(1))
+        assert flat.num_nodes == 1
+        assert flat.height == 0
+        assert flat.node_ids == [0]
+        assert flat.parent == [-1]
+        assert flat.depth == [0]
+        assert flat.children_of(0) == []
+        assert flat.level_spans == [(0, 1)]
+        assert flat.up_links == [] and flat.down_links == []
+
+    def test_orders(self):
+        flat = FlatTree.from_spanning_tree(line_tree(1))
+        assert list(flat.nodes_bottom_up()) == [0]
+        assert flat.nodes_top_down() == [0]
+        assert flat.parent_id(0) is None
+
+
+class TestDeepPath:
+    """A path graph: the tree is a chain of height n - 1."""
+
+    N = 40
+
+    def test_shape(self):
+        flat = FlatTree.from_spanning_tree(line_tree(self.N))
+        assert flat.height == self.N - 1
+        assert flat.num_nodes == self.N
+        # Every level holds exactly one node.
+        assert flat.level_spans == [(i, i + 1) for i in range(self.N)]
+        # Each node's only child is the next node down the chain.
+        for position in range(self.N - 1):
+            assert flat.children_of(position) == [position + 1]
+        assert flat.children_of(self.N - 1) == []
+
+    def test_orders_match_spanning_tree(self):
+        tree = line_tree(self.N)
+        flat = FlatTree.from_spanning_tree(tree)
+        assert list(flat.nodes_bottom_up()) == tree.nodes_bottom_up()
+        assert flat.nodes_top_down() == tree.nodes_top_down()
+        # Bottom-up must visit the deep end first, top-down the root first.
+        assert next(iter(flat.nodes_bottom_up())) == self.N - 1
+        assert flat.nodes_top_down()[0] == 0
+
+    def test_link_sequences(self):
+        flat = FlatTree.from_spanning_tree(line_tree(self.N))
+        assert flat.up_links == [(i, i - 1) for i in range(self.N - 1, 0, -1)]
+        assert flat.down_links == [(i, i + 1) for i in range(self.N - 1)]
+
+
+class TestStar:
+    """A star: the root has n - 1 children, height 1."""
+
+    N = 33
+
+    def test_shape(self):
+        flat = FlatTree.from_spanning_tree(star_tree(self.N))
+        assert flat.height == 1
+        assert flat.level_spans == [(0, 1), (1, self.N)]
+        assert flat.children_of(0) == list(range(1, self.N))
+        assert all(flat.parent[i] == 0 for i in range(1, self.N))
+
+    def test_orders(self):
+        tree = star_tree(self.N)
+        flat = FlatTree.from_spanning_tree(tree)
+        bottom_up = list(flat.nodes_bottom_up())
+        assert bottom_up == tree.nodes_bottom_up()
+        assert bottom_up[-1] == 0  # the root combines last
+        assert flat.nodes_top_down()[0] == 0
+
+    def test_batched_protocols_run(self):
+        # End to end: a degenerate topology through the batched sweeps.
+        from repro.protocols.broadcast import broadcast
+        from repro.protocols.convergecast import convergecast
+
+        network = SensorNetwork.from_items(
+            list(range(1, self.N + 1)), topology="star", degree_bound=None
+        )
+        broadcast(network, "q", 8, protocol="req")
+        total = convergecast(
+            network,
+            local_value=lambda node: sum(node.items),
+            combine=lambda a, b: a + b,
+            size_bits=16,
+            protocol="sum",
+        )
+        assert total == self.N * (self.N + 1) // 2
+
+
+class TestFailFastValidation:
+    """from_spanning_tree must reject malformed trees (satellite of PR 3)."""
+
+    def test_valid_tree_passes(self):
+        tree = line_tree(5)
+        tree.check_invariants()
+        assert FlatTree.from_spanning_tree(tree).num_nodes == 5
+
+    def test_child_list_mismatch(self):
+        tree = line_tree(5)
+        tree.children[1].remove(2)  # 2's parent still claims 1
+        with pytest.raises(TopologyError):
+            FlatTree.from_spanning_tree(tree)
+
+    def test_duplicate_child_entry(self):
+        tree = star_tree(4)
+        tree.children[1].append(2)  # 2 now appears under 0 and 1
+        with pytest.raises(TopologyError):
+            FlatTree.from_spanning_tree(tree)
+
+    def test_depth_inconsistency(self):
+        tree = line_tree(5)
+        tree.depth[3] = 7
+        with pytest.raises(TopologyError):
+            FlatTree.from_spanning_tree(tree)
+
+    def test_root_with_parent(self):
+        tree = line_tree(3)
+        tree.parent[0] = 2
+        with pytest.raises(TopologyError):
+            FlatTree.from_spanning_tree(tree)
+
+    def test_key_set_mismatch(self):
+        tree = line_tree(3)
+        del tree.depth[2]
+        with pytest.raises(TopologyError):
+            FlatTree.from_spanning_tree(tree)
+
+    def test_cycle_is_rejected(self):
+        parent = {0: None, 1: 0, 2: 3, 3: 2}
+        children = {0: [1], 1: [], 2: [3], 3: [2]}
+        depth = {0: 0, 1: 1, 2: 1, 3: 2}
+        tree = SpanningTree(root=0, parent=parent, children=children, depth=depth)
+        with pytest.raises(TopologyError):
+            FlatTree.from_spanning_tree(tree)
+
+    def test_tree_from_parents_rejects_disconnection(self):
+        with pytest.raises(TopologyError):
+            tree_from_parents(0, {0: None, 1: 0, 2: None})
+
+    def test_network_flat_tree_property_validates(self):
+        network = SensorNetwork.from_items([1] * 9, topology="grid")
+        network.tree.children[network.root_id].clear()  # corrupt in place
+        with pytest.raises(TopologyError):
+            _ = network.flat_tree

@@ -8,7 +8,7 @@ from repro.core.definitions import rank
 from repro.exceptions import ConfigurationError
 from repro.network.radio import DuplicatingRadio
 from repro.network.simulator import SensorNetwork
-from repro.network.topology import grid_topology, line_topology
+from repro.network.topology import line_topology
 from repro.protocols.epoch_convergecast import epoch_convergecast
 from repro.streaming import (
     ContinuousQueryEngine,
@@ -103,6 +103,34 @@ class TestStreamWorkloads:
         stream.initial()
         sizes = [len(stream.step(epoch)) for epoch in range(1, 6)]
         assert min(sizes) > 15
+
+    def test_churn_event_mode_mirrors_compat_mode(self):
+        """One seed, two fault models: the same churn trajectory either way."""
+        from repro.faults.events import NodeCrash, NodeRejoin
+
+        compat = ChurnStream(40, max_value=DOMAIN, seed=9, churn_rate=0.3)
+        explicit = ChurnStream(
+            40, max_value=DOMAIN, seed=9, churn_rate=0.3, emit_events=True
+        )
+        assert compat.initial() == explicit.initial()
+        assert explicit.pop_fault_events() == []  # nothing before a step
+        for epoch in range(1, 8):
+            compat_updates = compat.step(epoch)
+            explicit_updates = explicit.step(epoch)
+            events = explicit.pop_fault_events()
+            # Event mode hands churned nodes to the fault engine instead of
+            # returning silent item-list updates.
+            assert explicit_updates == {}
+            offline = {n for n, items in compat_updates.items() if items == []}
+            rejoined = {n: items for n, items in compat_updates.items() if items}
+            assert {e.node_id for e in events if isinstance(e, NodeCrash)} == offline
+            assert {
+                e.node_id: list(e.items)
+                for e in events
+                if isinstance(e, NodeRejoin)
+            } == rejoined
+            assert compat.online_count() == explicit.online_count()
+        assert explicit.pop_fault_events() == []  # popping drains the buffer
 
 
 # --------------------------------------------------------------------------- #
