@@ -10,6 +10,9 @@ JSON output) and printed as plain-text tables (visible with ``-s``).
 
 from __future__ import annotations
 
+import json
+import os
+
 import pytest
 
 
@@ -22,3 +25,46 @@ def run_once(benchmark, function, *args, **kwargs):
 def bench_once():
     """Fixture wrapper around :func:`run_once` for terser benchmark bodies."""
     return run_once
+
+
+def emit_bench_json(
+    name: str,
+    *,
+    n: int,
+    wall_clock_s: float,
+    bits: int,
+    metrics: dict[str, dict[str, float]] | None = None,
+) -> str:
+    """Write (or merge into) ``BENCH_<name>.json`` for the CI perf gate.
+
+    Every benchmark records its headline numbers — problem size, wall-clock
+    of the measured sweep, simulated bits — plus named ``metrics`` of the
+    form ``{"savings": {"value": 15.3, "floor": 5.0}}``.  The CI ``bench``
+    matrix uploads these files as artifacts and the ``bench-report`` step
+    (``benchmarks/report.py``) fails the build when any metric regresses
+    below its floor, so the performance trajectory is tracked run over run.
+
+    Multiple tests in one benchmark file share a file: metrics accumulate
+    across the calls of the *current* pytest session (never from a stale
+    file on disk — a rerun that measures fewer metrics must not inherit
+    last run's passing numbers), and the scalar headline fields are taken
+    from the latest caller.  The output directory defaults to the working
+    directory; CI points ``REPRO_BENCH_JSON_DIR`` at the artifact staging
+    area.
+    """
+    report = _SESSION_REPORTS.setdefault(name, {"name": name, "metrics": {}})
+    report["n"] = n
+    report["wall_clock_s"] = round(wall_clock_s, 4)
+    report["bits"] = bits
+    report["metrics"].update(metrics or {})
+    out_dir = os.environ.get("REPRO_BENCH_JSON_DIR", ".")
+    os.makedirs(out_dir, exist_ok=True)
+    path = os.path.join(out_dir, f"BENCH_{name}.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+#: Per-process accumulator backing :func:`emit_bench_json`.
+_SESSION_REPORTS: dict[str, dict] = {}

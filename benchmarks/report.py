@@ -1,0 +1,79 @@
+"""Perf-trajectory gate: verify BENCH_*.json metrics against their floors.
+
+Every benchmark writes a ``BENCH_<name>.json`` via
+:func:`benchmarks.conftest.emit_bench_json` — problem size, wall-clock,
+simulated bits, and named metrics each carrying the floor the benchmark
+itself asserts.  CI uploads those files as artifacts (one per ``bench``
+matrix leg) and runs this script over the collected set: it prints the
+trajectory table and exits non-zero if any metric regressed below its
+floor, so a savings ratio can never quietly decay.
+
+Usage::
+
+    python benchmarks/report.py [directory ...]
+
+Directories are searched recursively for ``BENCH_*.json``; the default is
+the current directory.
+"""
+
+from __future__ import annotations
+
+import glob
+import json
+import os
+import sys
+
+
+def collect(paths: list[str]) -> list[dict]:
+    """Load every BENCH_*.json under the given directories (recursively)."""
+    reports = []
+    for root in paths:
+        pattern = os.path.join(root, "**", "BENCH_*.json")
+        for path in sorted(glob.glob(pattern, recursive=True)):
+            with open(path, encoding="utf-8") as handle:
+                payload = json.load(handle)
+            payload["_path"] = path
+            reports.append(payload)
+    return reports
+
+
+def main(argv: list[str]) -> int:
+    roots = argv or ["."]
+    reports = collect(roots)
+    if not reports:
+        print(f"no BENCH_*.json found under {roots}", file=sys.stderr)
+        return 2
+
+    failures = []
+    print(f"{'bench':<12} {'n':>8} {'wall (s)':>9} {'bits':>14}  metrics")
+    for report in reports:
+        metrics = report.get("metrics", {})
+        rendered = []
+        for name, entry in sorted(metrics.items()):
+            value = entry.get("value")
+            floor = entry.get("floor")
+            ok = floor is None or value is None or value >= floor
+            status = "ok" if ok else "REGRESSED"
+            rendered.append(f"{name}={value} (floor {floor}, {status})")
+            if not ok:
+                failures.append(
+                    f"{report['name']}: {name} = {value} fell below "
+                    f"its floor of {floor} ({report['_path']})"
+                )
+        print(
+            f"{report.get('name', '?'):<12} {report.get('n', 0):>8} "
+            f"{report.get('wall_clock_s', 0.0):>9} {report.get('bits', 0):>14}  "
+            + ("; ".join(rendered) if rendered else "-")
+        )
+
+    if failures:
+        print("\nperformance regression detected:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print(f"\nall {len(reports)} benchmark report(s) within their floors")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

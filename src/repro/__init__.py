@@ -79,6 +79,7 @@ from repro.faults import (
     FaultEngine,
     FaultScript,
     FaultTrace,
+    HeartbeatDetector,
     LinkDrop,
     LinkRestore,
     NodeCrash,
@@ -122,7 +123,7 @@ from repro.streaming import (
     run_stream,
 )
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "ApproximateMedianProtocol",
@@ -161,6 +162,7 @@ __all__ = [
     "MinProtocol",
     "SumProtocol",
     "FaultEngine",
+    "HeartbeatDetector",
     "FaultScript",
     "FaultTrace",
     "NodeCrash",

@@ -18,6 +18,11 @@ it at a measured, minimised cost:
 * :mod:`repro.faults.engine` — :class:`FaultEngine`, which injects scripted
   and stochastic events into a running
   :class:`~repro.network.SensorNetwork` and drives repair;
+* :mod:`repro.faults.detection` — :class:`HeartbeatDetector`, charging the
+  *knowledge* of failures: per-epoch heartbeat bits through the radio
+  models, real detection latency (crashes stay silent zombies until a sweep
+  misses their liveness bit), and a latency-vs-bits trade-off governed by
+  the heartbeat period;
 * :mod:`repro.faults.trace` — :class:`FaultTrace`, the per-epoch record of
   repair bits/messages/energy and answer accuracy under failure;
 * :mod:`repro.faults.runner` — :func:`run_faulty_stream`, which interleaves
@@ -42,6 +47,7 @@ Quick start::
     print(trace.total_repair_bits, trace.max_answer_error("count"))
 """
 
+from repro.faults.detection import HEARTBEAT_BITS, HeartbeatDetector
 from repro.faults.engine import FaultEngine, FaultReport
 from repro.faults.events import (
     FaultEvent,
@@ -57,6 +63,8 @@ from repro.faults.runner import run_faulty_stream
 from repro.faults.trace import FaultEpochRecord, FaultTrace
 
 __all__ = [
+    "HEARTBEAT_BITS",
+    "HeartbeatDetector",
     "FaultEngine",
     "FaultReport",
     "FaultEvent",

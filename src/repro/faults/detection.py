@@ -1,0 +1,150 @@
+"""Charged failure detection: heartbeats, detection latency, zombie windows.
+
+The PR 3 fault engine assumed an *oracle* failure detector: a crash was
+known — for free — the epoch it happened, so the repair-vs-rebuild
+comparison never paid for its failure knowledge.  Chlebus–Kowalski–Olkowski
+("Deterministic Fault-Tolerant Distributed Computing in Linear Time and
+Communication") makes the case that fault handling must be charged in the
+same communication currency as the computation itself; the heartbeat-based
+detectors of the distributed-systems literature (Aspnes's notes, Ch. 11)
+are the standard way to do it.  :class:`HeartbeatDetector` implements that
+model:
+
+* every ``period`` epochs each tree node sends a tiny liveness bit to its
+  parent — charged through the radio model like every other transmission,
+  under its own protocol label, so lossy links inflate the standing cost;
+* a node that physically crashed sends nothing: its parent notices the
+  missing heartbeat at the next sweep, which is when the crash becomes
+  *known* — the alive-mask flips, the readings are already gone, and the
+  repair runs.  Detection latency is therefore ``detection_epoch -
+  crash_epoch``, between ``0`` and ``period - 1`` epochs, trading linearly
+  against the heartbeat bill;
+* between crash and detection the victim is a *zombie*: silent (a silent
+  node is indistinguishable from a suppressed one in a delta-streaming
+  engine) and stale — its readings were destroyed at the crash, but its
+  cached summary contribution survives at its parent until the repair
+  evicts it, so the answer error during the window is the measurable price
+  of not knowing yet.
+
+Only node crashes need the detector.  Link failures are observable by the
+*sender* for free (the radio layer reports missed acks on the next use), so
+the engine keeps applying them oracle-style; rejoins announce themselves
+through the adoption handshake the repair already charges.
+"""
+
+from __future__ import annotations
+
+from repro._util.validation import require_positive
+from repro.exceptions import ConfigurationError, DeliveryError
+from repro.network.simulator import SensorNetwork
+
+#: One liveness token per tree edge per sweep: a type bit plus an epoch
+#: parity bit, enough for the parent to tell "alive now" from a duplicate.
+HEARTBEAT_BITS = 2
+
+
+class HeartbeatDetector:
+    """Periodic parent-ward heartbeats with charged bits and real latency.
+
+    ``period`` is the sweep interval in epochs: sweeps fire at every epoch
+    that is a multiple of ``period``, so ``period=1`` detects every crash
+    the epoch it happens (the oracle's timing, but *paid for*), and larger
+    periods trade heartbeat bits for detection latency — worst case
+    ``period - 1`` epochs, ``(period - 1) / 2`` expected under crashes
+    uniform in time.
+    """
+
+    def __init__(
+        self,
+        period: int = 1,
+        heartbeat_bits: int = HEARTBEAT_BITS,
+        protocol: str = "faults:heartbeat",
+    ) -> None:
+        require_positive(period, "period")
+        require_positive(heartbeat_bits, "heartbeat_bits")
+        self.period = period
+        self.heartbeat_bits = heartbeat_bits
+        self.protocol = protocol
+
+    def sweep_due(self, epoch: int) -> bool:
+        """Whether the heartbeat exchange fires at ``epoch``."""
+        return epoch % self.period == 0
+
+    def worst_case_latency(self) -> int:
+        """Largest possible crash-to-detection gap, in epochs."""
+        return self.period - 1
+
+    def expected_latency(self) -> float:
+        """Mean crash-to-detection gap for crashes uniform over the period."""
+        return (self.period - 1) / 2
+
+    def charge_sweep(
+        self, network: SensorNetwork, silent: set[int]
+    ) -> tuple[int, int]:
+        """Charge one heartbeat per tree edge whose child can still speak.
+
+        ``silent`` holds the physically-dead-but-undetected nodes: they
+        transmit nothing (that silence *is* the detection signal), while
+        their still-alive children keep paying heartbeats toward them until
+        the repair re-parents the subtree.  The link sequence is the cached
+        :attr:`~repro.network.FlatTree.up_links` (canonical bottom-up
+        order), charged through
+        :meth:`~repro.network.SensorNetwork.send_batch`, so the ledger —
+        including lossy-radio retries — is identical under both execution
+        modes.  Returns ``(bits, messages)`` charged.
+        """
+        up_links = network.flat_tree.up_links
+        if silent:
+            links = [link for link in up_links if link[0] not in silent]
+        else:
+            links = up_links
+        if not links:
+            return 0, 0
+        before = network.ledger.counters_snapshot()
+        position = 0
+        while position < len(links):
+            batch = links[position:]
+            try:
+                network.send_batch(
+                    batch,
+                    [self.heartbeat_bits] * len(batch),
+                    protocol=self.protocol,
+                    require_edge=False,
+                )
+                break
+            except DeliveryError as error:
+                # A permanently lost heartbeat is not a fault in the sweep —
+                # it is wasted traffic (the sender is probed again next
+                # sweep; false-positive suspicion is not modelled).  The
+                # delivered prefix was charged; skip the dead letter and
+                # keep sweeping.
+                position += len(getattr(error, "outcomes_before_failure", ())) + 1
+        after = network.ledger.counters_snapshot()
+        return (
+            after.total_bits - before.total_bits,
+            after.messages - before.messages,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug convenience
+        return (
+            f"HeartbeatDetector(period={self.period}, "
+            f"bits={self.heartbeat_bits})"
+        )
+
+
+def detector_from_config(config) -> "HeartbeatDetector | None":
+    """Normalise detector configuration: ``None``, a period, or an instance.
+
+    The analysis entry points accept ``detector_period`` as a plain integer
+    for sweep convenience; this helper keeps the coercion in one place.
+    """
+    if config is None:
+        return None
+    if isinstance(config, HeartbeatDetector):
+        return config
+    if isinstance(config, int) and not isinstance(config, bool):
+        return HeartbeatDetector(period=config)
+    raise ConfigurationError(
+        f"detector must be None, an int period or a HeartbeatDetector, "
+        f"got {config!r}"
+    )

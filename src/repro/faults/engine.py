@@ -10,6 +10,14 @@ the alive, root-connected population.  One :meth:`step` per epoch returns a
 :class:`FaultReport` describing both the injected events and the repair's
 outcome, which the stream runner feeds to the continuous-query engine's
 recovery protocol.
+
+Failure *knowledge* is modelled explicitly: with a
+:class:`~repro.faults.HeartbeatDetector` configured, a crash is applied in
+two stages — the node dies (readings destroyed, transmissions cease) the
+epoch the event fires, but the alive-mask flips and the repair runs only
+when a heartbeat sweep notices the silence, and every sweep's bits are
+charged through the radio models.  Without a detector the engine keeps the
+oracle model: detection is instant and free.
 """
 
 from __future__ import annotations
@@ -20,6 +28,7 @@ from typing import Sequence
 from repro._util.randomness import make_rng
 from repro._util.validation import require_non_negative, require_probability
 from repro.exceptions import ConfigurationError
+from repro.faults.detection import HeartbeatDetector
 from repro.faults.events import (
     FaultEvent,
     FaultScript,
@@ -36,7 +45,18 @@ from repro.network.simulator import SensorNetwork
 
 @dataclass(frozen=True)
 class FaultReport:
-    """What one epoch of fault injection did to the network."""
+    """What one epoch of fault injection did to the network.
+
+    With a :class:`~repro.faults.HeartbeatDetector` configured, ``crashed``
+    lists the *physical* crashes of the epoch (readings destroyed, node
+    silent) while ``detected`` lists the crashes whose heartbeat silence was
+    noticed this epoch — the only ones the repair pass acts on.
+    ``detection_latencies`` aligns with ``detected`` (epochs from crash to
+    detection) and ``detection_bits`` is the heartbeat traffic charged,
+    separate from the repair's control bits.  Without a detector (the
+    oracle model) every crash is detected instantly and these fields stay
+    empty.
+    """
 
     epoch: int
     crashed: tuple[int, ...]
@@ -45,6 +65,14 @@ class FaultReport:
     restored_links: tuple[tuple[int, int], ...]
     repair: RepairResult
     applied_events: int = 0
+    detection_bits: int = 0
+    detection_messages: int = 0
+    detected: tuple[int, ...] = ()
+    detection_latencies: tuple[int, ...] = ()
+    #: Nodes that crashed *and* rejoined inside one detection window: the
+    #: tree never noticed, but their readings were replaced wholesale, so
+    #: stream drivers must treat them as updated this epoch.
+    flapped: tuple[int, ...] = ()
 
     @property
     def had_faults(self) -> bool:
@@ -53,6 +81,7 @@ class FaultReport:
             or self.rejoined
             or self.dropped_links
             or self.restored_links
+            or self.detected
         )
 
 
@@ -69,6 +98,7 @@ class FaultEngine:
         rejoin_rate: float = 0.0,
         link_drop_rate: float = 0.0,
         rejoin_value_max: int = 1 << 16,
+        detector: HeartbeatDetector | None = None,
     ) -> None:
         self.network = network
         self.script = script if script is not None else FaultScript()
@@ -79,8 +109,26 @@ class FaultEngine:
         self.rejoin_value_max = require_non_negative(
             rejoin_value_max, "rejoin_value_max"
         )
+        #: ``None`` keeps the oracle model of PR 3: crashes are known — for
+        #: free — the epoch they happen.  A :class:`HeartbeatDetector`
+        #: charges the knowledge instead: crashes stay *undetected* (the
+        #: node a silent zombie whose readings are already gone) until the
+        #: next heartbeat sweep notices the missing liveness bit.
+        self.detector = detector
+        self._undetected: dict[int, int] = {}
+        self._epoch = 0
         self._rng = make_rng(seed)
         self.dropped_edges: set[tuple[int, int]] = set()
+
+    @property
+    def undetected_dead(self) -> frozenset[int]:
+        """Nodes that crashed but whose failure has not been detected yet.
+
+        They still sit in the spanning tree (silent, with destroyed
+        readings); :func:`~repro.faults.run_faulty_stream` drops their
+        sensor updates, since a dead sensor reads nothing.
+        """
+        return frozenset(self._undetected)
 
     # ------------------------------------------------------------------ #
     # Epoch driver
@@ -104,9 +152,42 @@ class FaultEngine:
         rejoined: list[int] = []
         dropped: list[tuple[int, int]] = []
         restored: list[tuple[int, int]] = []
+        flaps: list[int] = []
+        self._epoch = epoch
         for event in events:
-            self._apply(event, crashed, rejoined, dropped, restored)
-        if crashed or rejoined or dropped or restored:
+            self._apply(event, crashed, rejoined, dropped, restored, flaps)
+
+        detection_bits = 0
+        detection_messages = 0
+        detected: tuple[int, ...] = ()
+        latencies: tuple[int, ...] = ()
+        detector = self.detector
+        if detector is not None and detector.sweep_due(epoch):
+            # The sweep is a standing cost: it is charged whether or not
+            # anything is wrong — that is the price of knowing.
+            detection_bits, detection_messages = detector.charge_sweep(
+                self.network, set(self._undetected)
+            )
+            detected, latencies = self._detect_pending(epoch)
+
+        # A flap (crash and rejoin both inside one detection window) never
+        # touches the tree, so it does not force a repair pass on its own.
+        revivals = len(rejoined) - len(flaps)
+        if detector is None:
+            needs_repair = bool(crashed or rejoined or dropped or restored)
+        else:
+            needs_repair = bool(detected or revivals or dropped or restored)
+        if detector is not None and needs_repair and self._undetected:
+            # A repair pass doubles as a liveness probe: its adoption
+            # handshakes and pointer flips cannot complete against dead
+            # nodes, so running one reveals every pending crash — at the
+            # repair's already-charged cost, not the heartbeat's.  Without
+            # this, a zombie would take part in the repair as a live
+            # transmitter, quietly ending its detection window for free.
+            probed, probe_latencies = self._detect_pending(epoch)
+            detected = detected + probed
+            latencies = latencies + probe_latencies
+        if needs_repair:
             repair = self.repair.repair(self.network)
         else:
             repair = _noop_repair()
@@ -118,7 +199,23 @@ class FaultEngine:
             restored_links=tuple(restored),
             repair=repair,
             applied_events=len(events),
+            detection_bits=detection_bits,
+            detection_messages=detection_messages,
+            detected=detected,
+            detection_latencies=latencies,
+            flapped=tuple(flaps),
         )
+
+    def _detect_pending(self, epoch: int) -> tuple[tuple[int, ...], tuple[int, ...]]:
+        """Reveal every pending crash: kill, clear, report with latencies."""
+        if not self._undetected:
+            return (), ()
+        victims = sorted(self._undetected)
+        latencies = tuple(epoch - self._undetected[node] for node in victims)
+        for node in victims:
+            self.network.kill_node(node)
+        self._undetected.clear()
+        return tuple(victims), latencies
 
     # ------------------------------------------------------------------ #
     # Event application
@@ -130,24 +227,51 @@ class FaultEngine:
         rejoined: list[int],
         dropped: list[tuple[int, int]],
         restored: list[tuple[int, int]],
+        flaps: list[int],
     ) -> None:
         network = self.network
         if isinstance(event, NodeCrash):
-            if network.is_alive(event.node_id):
-                network.kill_node(event.node_id)
-                crashed.append(event.node_id)
+            node_id = event.node_id
+            if not network.is_alive(node_id) or node_id in self._undetected:
+                return
+            if self.detector is None:
+                network.kill_node(node_id)
+            else:
+                # The node dies *now* — readings and scratch state are gone
+                # — but nobody knows until a heartbeat sweep misses it, so
+                # the alive-mask (and the repair) waits for detection.
+                if node_id == network.root_id:
+                    raise ConfigurationError(
+                        "the root cannot crash; it is the query-issuing node"
+                    )
+                node = network.node(node_id)
+                node.clear_items()
+                node.reset_scratch()
+                self._undetected[node_id] = self._epoch
+            crashed.append(node_id)
         elif isinstance(event, NodeRejoin):
-            if not network.is_alive(event.node_id):
-                network.revive_node(event.node_id)
-                node = network.node(event.node_id)
+            node_id = event.node_id
+            if node_id in self._undetected:
+                # A flap: the node rebooted inside the detection window.
+                # Its parent never missed a heartbeat, the tree is intact —
+                # only the readings changed.
+                del self._undetected[node_id]
+                node = network.node(node_id)
                 node.clear_items()
                 node.add_items(event.items)
-                rejoined.append(event.node_id)
+                rejoined.append(node_id)
+                flaps.append(node_id)
+            elif not network.is_alive(node_id):
+                network.revive_node(node_id)
+                node = network.node(node_id)
+                node.clear_items()
+                node.add_items(event.items)
+                rejoined.append(node_id)
         elif isinstance(event, RegionalOutage):
             for crash in expand_regional_outage(
                 network.graph, event, protect=(network.root_id,)
             ):
-                self._apply(crash, crashed, rejoined, dropped, restored)
+                self._apply(crash, crashed, rejoined, dropped, restored, flaps)
         elif isinstance(event, LinkDrop):
             edge = event.edge
             if network.graph.has_edge(*edge):
@@ -173,8 +297,9 @@ class FaultEngine:
         network = self.network
         rng = self._rng
         if self.crash_rate > 0.0:
+            undetected = self._undetected
             for node_id in network.alive_node_ids():
-                if node_id == network.root_id:
+                if node_id == network.root_id or node_id in undetected:
                     continue
                 if rng.random() < self.crash_rate:
                     events.append(NodeCrash(node_id))

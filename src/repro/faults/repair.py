@@ -17,16 +17,33 @@ instead re-attaches each unit through a local adoption handshake:
    path from ``x`` to the fragment's old top — one small pointer-flip
    message per reversed edge.  Every other member keeps its parent and
    children untouched, which is what lets the streaming layer re-synchronise
-   only along repaired paths;
+   only along repaired paths.  A handshake whose radio delivery *permanently*
+   fails does not kill the epoch: the unit falls back to its next candidate
+   attachment point, and the repair aborts only when every candidate of an
+   orphan unit has been exhausted;
 3. repeat wave by wave until no orphan is adjacent to the attached region;
    whatever remains is *detached* (physically cut off) and rejoins
    automatically once connectivity returns.
 
-Nodes maintain only parent pointers and child lists — protocol traversals
-are self-timed (a node acts when its children have reported), so depth is
-simulator bookkeeping, recomputed for free like the
-:class:`~repro.network.FlatTree` arrays, and the repair traffic touches
-exactly the edges whose pointers change.
+Two execution paths implement the sweep, selected by
+``network.execution`` exactly as the protocol traversals do:
+
+* *per-edge* — the reference implementation: the adoption frontier scans
+  every attached node's neighbourhood wave by wave, and the repaired tree is
+  rebuilt into fresh dictionaries.  O(alive graph edges) per fault epoch.
+* *batched* (default) — operates on the
+  :class:`~repro.network.FlatTree` arrays: the attached set falls out of one
+  top-down array sweep, adoption candidates are enumerated from the (small)
+  orphan side through a priority queue that reproduces the reference scan
+  order exactly, the rebuild-vs-incremental estimate short-circuits without
+  touching the edge set, and the spanning tree plus its flat view are
+  patched **in place** via :meth:`~repro.network.FlatTree.rewire` instead of
+  rebuilt.  O(damage) where the reference path is O(alive edges).
+
+Both paths attempt the same adoptions in the same order and push every
+control message through :meth:`~repro.network.SensorNetwork.send_batch`, so
+their ledgers — including lossy-radio retries — are bit-for-bit identical
+(enforced by the randomized equivalence suite).
 
 When the *estimated* incremental cost exceeds ``rebuild_threshold`` times
 the estimated flood cost — or when ``strategy="rebuild"`` pins the naive
@@ -38,12 +55,17 @@ costs.  The fault benchmarks measure exactly this trade.
 
 from __future__ import annotations
 
+import heapq
+from bisect import bisect_right, insort
 from collections import deque
-from dataclasses import dataclass
+from itertools import compress
+from dataclasses import dataclass, field
+from typing import Callable
 
 import networkx as nx
 
-from repro.exceptions import ConfigurationError
+from repro.exceptions import ConfigurationError, DeliveryError
+from repro.network.radio import ReliableRadio
 from repro.network.simulator import SensorNetwork
 from repro.network.spanning_tree import (
     bfs_tree,
@@ -111,6 +133,29 @@ _NOOP = RepairResult(
 )
 
 
+@dataclass
+class _Cascade:
+    """Mutable bookkeeping shared by one adoption sweep.
+
+    Both execution paths feed the same fields in the same order, so the
+    results they materialise afterwards are identical.  ``deferred_links`` /
+    ``deferred_sizes`` buffer the control traffic when the radio is the
+    perfect-delivery singleton: no handshake can fail, so charging the whole
+    cascade in one ledger batch is bit-for-bit the same as charging each
+    adoption as it happens — minus thousands of tiny batch calls.
+    """
+
+    attached: set
+    parent_overrides: dict[int, int] = field(default_factory=dict)
+    parent_changed: list[int] = field(default_factory=list)
+    adopted_units: list[tuple[int, int, int]] = field(default_factory=list)
+    attach_log: list[int] = field(default_factory=list)
+    failed_units: set[int] = field(default_factory=set)
+    waves: int = 0
+    deferred_links: list[tuple[int, int]] | None = None
+    deferred_sizes: list[int] | None = None
+
+
 class TreeRepair:
     """Incremental spanning-tree repair with a rebuild-from-scratch fallback."""
 
@@ -119,6 +164,7 @@ class TreeRepair:
         strategy: str = "incremental",
         rebuild_threshold: float = 1.0,
         protocol: str = "faults:repair",
+        execution: str | None = None,
     ) -> None:
         if strategy not in REPAIR_STRATEGIES:
             raise ConfigurationError(
@@ -128,9 +174,18 @@ class TreeRepair:
             raise ConfigurationError(
                 f"rebuild_threshold must be positive, got {rebuild_threshold}"
             )
+        if execution is not None and execution not in ("batched", "per-edge"):
+            raise ConfigurationError(
+                f"unknown execution mode {execution!r}; known: batched, per-edge"
+            )
         self.strategy = strategy
         self.rebuild_threshold = rebuild_threshold
         self.protocol = protocol
+        #: Which repair implementation to run; ``None`` (default) follows
+        #: ``network.execution``, an explicit value pins one path — the fault
+        #: benchmarks use this to race the two repair implementations on
+        #: identical batched-core networks.
+        self.execution = execution
 
     # ------------------------------------------------------------------ #
     # Entry point
@@ -138,17 +193,33 @@ class TreeRepair:
     def repair(self, network: SensorNetwork) -> RepairResult:
         """Re-span the alive, root-connected population; return what changed.
 
-        Reads the network's graph, spanning tree and alive-mask; writes a new
-        :class:`~repro.network.SpanningTree` back to ``network.tree`` and
-        charges every control message to the ledger under
-        :attr:`protocol`.  Returns a no-op result when the existing tree
-        already spans exactly the attachable population.
+        Reads the network's graph, spanning tree and alive-mask; installs the
+        repaired :class:`~repro.network.SpanningTree` on the network and
+        charges every control message to the ledger under :attr:`protocol`.
+        Returns a no-op result when the existing tree already spans exactly
+        the attachable population.  Dispatches on ``network.execution``; the
+        two paths are ledger-identical and produce identical trees.
+
+        Raises :class:`~repro.exceptions.DeliveryError` when an orphan unit
+        with at least one permanently-failed adoption handshake exhausted
+        every candidate attachment point; the partially repaired tree (with
+        such units detached) is installed first, and the completed
+        :class:`RepairResult` rides on the exception as ``repair_result``.
         """
+        if not network.is_alive(network.root_id):  # pragma: no cover - kill_node forbids it
+            raise ConfigurationError("cannot repair a network whose root is dead")
+        execution = self.execution if self.execution is not None else network.execution
+        if execution == "per-edge":
+            return self._repair_per_edge(network)
+        return self._repair_batched(network)
+
+    # ------------------------------------------------------------------ #
+    # Per-edge reference path
+    # ------------------------------------------------------------------ #
+    def _repair_per_edge(self, network: SensorNetwork) -> RepairResult:
         tree = network.tree
         graph = network.graph
         root = network.root_id
-        if not network.is_alive(root):  # pragma: no cover - kill_node forbids it
-            raise ConfigurationError("cannot repair a network whose root is dead")
         old_parent = tree.parent
         old_children = tree.children
         has_edge = graph.has_edge
@@ -178,12 +249,521 @@ class TreeRepair:
         units, unit_id, unit_parent = self._orphan_units(network, unattached)
         if units and self._should_rebuild(network, units, unattached):
             return self._rebuild(network, old_nodes)
-        return self._incremental(
-            network, attached, units, unit_id, unit_parent, old_nodes
+
+        before = network.ledger.counters_snapshot()
+        cascade = _Cascade(attached=attached)
+        new_parent: dict[int, int | None] = {
+            node: old_parent[node] for node in attached
+        }
+        frontier = sorted(attached)
+        while frontier:
+            wave_added: list[int] = []
+            for adopter in frontier:
+                for orphan in sorted(graph.neighbors(adopter)):
+                    if orphan in attached or not is_alive(orphan):
+                        continue
+                    self._adopt_unit(
+                        network,
+                        orphan,
+                        adopter,
+                        units,
+                        unit_id,
+                        unit_parent,
+                        cascade,
+                        wave_added,
+                    )
+            if wave_added:
+                cascade.waves += 1
+            frontier = wave_added
+
+        for member in cascade.attach_log:
+            new_parent[member] = cascade.parent_overrides.get(
+                member, unit_parent[member]
+            )
+
+        detached = tuple(
+            node for node in sorted(unit_id) if node not in attached
+        )
+        child_losses: list[tuple[int, int]] = []
+        for child, parent in old_parent.items():
+            if parent is None or parent not in attached:
+                continue
+            if new_parent.get(child) != parent:
+                child_losses.append((parent, child))
+        removed = tuple(sorted(old_nodes - attached))
+
+        network.tree = tree_from_parents(
+            root, {node: new_parent[node] for node in attached}
+        )
+        network.ledger.advance_round(cascade.waves)
+        after = network.ledger.counters_snapshot()
+        result = RepairResult(
+            strategy="incremental",
+            rebuilt=False,
+            parent_changed=tuple(cascade.parent_changed),
+            child_losses=tuple(sorted(child_losses)),
+            removed=removed,
+            detached=detached,
+            control_bits=after.total_bits - before.total_bits,
+            control_messages=after.messages - before.messages,
+            rounds=cascade.waves,
+        )
+        self._raise_if_exhausted(cascade, units, result)
+        return result
+
+    # ------------------------------------------------------------------ #
+    # Batched path: flat arrays, orphan-side candidates, in-place patch
+    # ------------------------------------------------------------------ #
+    def _repair_batched(self, network: SensorNetwork) -> RepairResult:
+        tree = network.tree
+        flat = network.flat_tree
+        adjacency = network.graph._adj  # raw dict-of-dicts: the hot sweeps
+        node_ids = flat.node_ids
+        parent_pos = flat.parent
+        num_old = flat.num_nodes
+        dead = set(network.dead_node_ids())
+
+        # Attached sweep: canonical order is top-down, so each node's parent
+        # has already been classified when the node is reached.  The sweep
+        # simultaneously collects the alive old-tree nodes that fell off;
+        # the attached set itself is materialised in one C pass afterwards.
+        attached_mask = bytearray(num_old)
+        unattached_tree: list[int] = []
+        if num_old:
+            attached_mask[0] = 1
+        for position in range(1, num_old):
+            node = node_ids[position]
+            if node in dead:
+                continue
+            if attached_mask[parent_pos[position]] and node in adjacency[
+                node_ids[parent_pos[position]]
+            ]:
+                attached_mask[position] = 1
+            else:
+                unattached_tree.append(node)
+        attached = set(compress(node_ids, attached_mask))
+
+        # Alive nodes outside the old tree (rejoined or reconnecting after a
+        # detachment) exist only when the population counts disagree; the
+        # common fault epoch skips the full scan.
+        if len(attached) + len(unattached_tree) == network.num_alive:
+            unattached = sorted(unattached_tree)
+        else:
+            unattached = [
+                node for node in network.alive_node_ids() if node not in attached
+            ]
+        if not unattached and len(attached) == num_old:
+            return _NOOP
+
+        if self.strategy == "rebuild":
+            return self._rebuild(network, set(tree.parent))
+
+        units, unit_id, unit_parent = self._orphan_units(network, unattached)
+        if units and self._should_rebuild_batched(
+            network, units, unattached, len(attached)
+        ):
+            return self._rebuild(network, set(tree.parent))
+
+        before = network.ledger.counters_snapshot()
+        cascade = _Cascade(attached=attached)
+        if type(network.radio) is ReliableRadio:
+            cascade.deferred_links = []
+            cascade.deferred_sizes = []
+        remaining = set(unattached)
+        self._adoption_cascade_batched(
+            network, adjacency, units, unit_id, unit_parent, cascade, remaining
+        )
+        if cascade.deferred_links:
+            network.send_batch(
+                cascade.deferred_links,
+                cascade.deferred_sizes,
+                protocol=self.protocol,
+                require_edge=False,
+            )
+
+        detached = tuple(
+            node for node in sorted(unit_id) if node not in attached
+        )
+
+        # O(damage) bookkeeping: the only candidates for a cache eviction or
+        # a removal are reparented nodes and old-tree nodes that fell out.
+        old_parent = tree.parent
+        removed_list = [node for node in sorted(dead) if node in old_parent]
+        removed_list.extend(node for node in detached if node in old_parent)
+        removed = tuple(sorted(removed_list))
+        parent_overrides = cascade.parent_overrides
+        child_losses: list[tuple[int, int]] = []
+        for child in cascade.parent_changed:
+            old = old_parent.get(child)
+            if old is not None and old in attached and parent_overrides[child] != old:
+                child_losses.append((old, child))
+        for child in removed:
+            old = old_parent[child]
+            if old is not None and old in attached:
+                child_losses.append((old, child))
+        child_losses.sort()
+
+        self._patch_tree_in_place(
+            network, flat, cascade, units, unit_parent, removed, child_losses
+        )
+
+        network.ledger.advance_round(cascade.waves)
+        after = network.ledger.counters_snapshot()
+        result = RepairResult(
+            strategy="incremental",
+            rebuilt=False,
+            parent_changed=tuple(cascade.parent_changed),
+            child_losses=tuple(child_losses),
+            removed=removed,
+            detached=detached,
+            control_bits=after.total_bits - before.total_bits,
+            control_messages=after.messages - before.messages,
+            rounds=cascade.waves,
+        )
+        self._raise_if_exhausted(cascade, units, result)
+        return result
+
+    def _adoption_cascade_batched(
+        self,
+        network: SensorNetwork,
+        adjacency,
+        units: list[list[int]],
+        unit_id: dict[int, int],
+        unit_parent: dict[int, int | None],
+        cascade: _Cascade,
+        remaining: set[int],
+    ) -> None:
+        """Run the adoption waves from the orphan side.
+
+        The reference scan attempts candidate ``(adopter, orphan)`` pairs in
+        ascending ``(adopter rank, orphan id)`` order within a wave, where
+        rank is the adopter's id in wave one and its position in the
+        previous wave's attach order afterwards; a pair is only *attempted*
+        while its orphan's unit is unattached.  The globally next attempted
+        pair is therefore the minimum over units of each unit's cheapest
+        untried candidate — a priority queue over per-unit minima reproduces
+        the exact sequence while only ever touching the orphan side's
+        adjacency, which is what makes the pass O(damage).
+        """
+        attached = cascade.attached
+        added_in_cascade: set[int] = set()
+        wave_members: list[int] | None = None  # None = wave one (original attached)
+        while remaining:
+            # Cheapest candidate per unit, scanned from whichever side of the
+            # attached/orphan boundary has fewer nodes — both scans visit the
+            # same boundary edges, and the minimum per unit is the same.
+            best: dict[int, tuple[int, int]] = {}
+            if wave_members is None:
+                # Wave one: the adopters are the original attached set and
+                # nothing has been adopted yet, so C-level set intersections
+                # against the adjacency key views do the boundary scan.
+                if len(attached) < len(remaining):
+                    for adopter in attached:
+                        for orphan in remaining.intersection(adjacency[adopter]):
+                            unit = unit_id[orphan]
+                            key = (adopter, orphan)
+                            if unit not in best or key < best[unit]:
+                                best[unit] = key
+                else:
+                    for orphan in remaining:
+                        hits = attached.intersection(adjacency[orphan])
+                        if hits:
+                            unit = unit_id[orphan]
+                            key = (min(hits), orphan)
+                            if unit not in best or key < best[unit]:
+                                best[unit] = key
+                in_cascade = added_in_cascade
+
+                def rank_of(
+                    neighbor: int,
+                    _attached=attached,
+                    _in_cascade=in_cascade,
+                ) -> int | None:
+                    if neighbor in _attached and neighbor not in _in_cascade:
+                        return neighbor
+                    return None
+
+                def adopter_of(rank: int) -> int:
+                    return rank
+            else:
+                position_of = {
+                    member: position for position, member in enumerate(wave_members)
+                }
+                get_position = position_of.get
+                if len(wave_members) < len(remaining):
+                    for position, adopter in enumerate(wave_members):
+                        for orphan in remaining.intersection(adjacency[adopter]):
+                            unit = unit_id[orphan]
+                            key = (position, orphan)
+                            if unit not in best or key < best[unit]:
+                                best[unit] = key
+                else:
+                    member_set = set(position_of)
+                    for orphan in remaining:
+                        hits = member_set.intersection(adjacency[orphan])
+                        if hits:
+                            rank_min = min(position_of[hit] for hit in hits)
+                            unit = unit_id[orphan]
+                            key = (rank_min, orphan)
+                            if unit not in best or key < best[unit]:
+                                best[unit] = key
+
+                def rank_of(neighbor: int, _get=get_position) -> int | None:
+                    return _get(neighbor)
+
+                def adopter_of(rank: int, _members=wave_members) -> int:
+                    return _members[rank]
+
+            wave_added = self._run_wave(
+                network,
+                adjacency,
+                units,
+                unit_id,
+                unit_parent,
+                cascade,
+                remaining,
+                added_in_cascade,
+                best,
+                rank_of,
+                adopter_of,
+            )
+            if not wave_added:
+                break
+            cascade.waves += 1
+            wave_members = wave_added
+
+    def _run_wave(
+        self,
+        network: SensorNetwork,
+        adjacency,
+        units: list[list[int]],
+        unit_id: dict[int, int],
+        unit_parent: dict[int, int | None],
+        cascade: _Cascade,
+        remaining: set[int],
+        added_in_cascade: set[int],
+        best: dict[int, tuple[int, int]],
+        rank_of: Callable[[int], int | None],
+        adopter_of: Callable[[int], int],
+    ) -> list[int]:
+        heap = [(rank, orphan, unit) for unit, (rank, orphan) in best.items()]
+        heapq.heapify(heap)
+
+        # Full per-unit candidate lists are materialised only after a failed
+        # handshake (rare), to find the unit's next attachment point.
+        fallback: dict[int, tuple[list[tuple[int, int]], int]] = {}
+        wave_added: list[int] = []
+        while heap:
+            rank, orphan, unit = heapq.heappop(heap)
+            if units[unit][0] in cascade.attached:
+                continue  # defensive: the unit was adopted already
+            adopter = adopter_of(rank)
+            adopted = self._adopt_unit(
+                network,
+                orphan,
+                adopter,
+                units,
+                unit_id,
+                unit_parent,
+                cascade,
+                wave_added,
+            )
+            if adopted:
+                for member in units[unit]:
+                    remaining.discard(member)
+                    added_in_cascade.add(member)
+                continue
+            entry = fallback.get(unit)
+            if entry is None:
+                pairs: list[tuple[int, int]] = []
+                for member in units[unit]:
+                    for neighbor in adjacency[member]:
+                        neighbor_rank = rank_of(neighbor)
+                        if neighbor_rank is not None:
+                            pairs.append((neighbor_rank, member))
+                pairs.sort()
+                entry = (pairs, bisect_right(pairs, (rank, orphan)))
+            pairs, cursor = entry
+            if cursor < len(pairs):
+                next_rank, next_orphan = pairs[cursor]
+                fallback[unit] = (pairs, cursor + 1)
+                heapq.heappush(heap, (next_rank, next_orphan, unit))
+        return wave_added
+
+    def _patch_tree_in_place(
+        self,
+        network: SensorNetwork,
+        flat,
+        cascade: _Cascade,
+        units: list[list[int]],
+        unit_parent: dict[int, int | None],
+        removed: tuple[int, ...],
+        child_losses: list[tuple[int, int]],
+    ) -> None:
+        """Apply the cascade to the tree dictionaries and rewire the flat view.
+
+        Touches only removed nodes, reparented nodes and re-attached unit
+        members; every other entry — and its position in the canonical
+        traversal order — is untouched, which is what keeps the pass
+        O(damage) instead of O(network).
+        """
+        tree = network.tree
+        parent_map = tree.parent
+        children = tree.children
+        depth_map = tree.depth
+        overrides = cascade.parent_overrides
+
+        for parent, child in child_losses:
+            children[parent].remove(child)
+        for node in removed:
+            del parent_map[node]
+            del children[node]
+            del depth_map[node]
+
+        new_depths: dict[int, int] = {}
+        for unit, contact, adopter in cascade.adopted_units:
+            members = units[unit]
+            if len(members) == 1:
+                # Singleton fast path: one pointer, one depth, no re-rooting
+                # (the common case under churn and every rejoin).
+                if contact not in parent_map:
+                    children[contact] = []
+                parent_map[contact] = adopter
+                insort(children[adopter], contact)
+                level = depth_map[adopter] + 1
+                depth_map[contact] = level
+                new_depths[contact] = level
+                continue
+            final_parent = {
+                member: overrides.get(member, unit_parent[member])
+                for member in members
+            }
+            for member in members:
+                target = final_parent[member]
+                if member in parent_map:
+                    if parent_map[member] != target:
+                        parent_map[member] = target
+                        insort(children[target], member)
+                else:
+                    # A node re-entering the tree (rejoined, or reconnected
+                    # after being detached) arrives as a singleton unit.
+                    parent_map[member] = target
+                    children[member] = []
+                    insort(children[target], member)
+            # Fresh depths ripple out from the contact point; the adopter's
+            # depth is final because units are processed in adoption order.
+            kids_within: dict[int, list[int]] = {}
+            for member in members:
+                kids_within.setdefault(final_parent[member], []).append(member)
+            queue = deque([(contact, depth_map[adopter] + 1)])
+            while queue:
+                member, level = queue.popleft()
+                depth_map[member] = level
+                new_depths[member] = level
+                for child in kids_within.get(member, ()):
+                    queue.append((child, level + 1))
+
+        network.set_tree(
+            tree,
+            flat_tree=flat.rewire(
+                removed=removed, reparented=overrides, depths=new_depths
+            ),
         )
 
     # ------------------------------------------------------------------ #
-    # Orphan-unit discovery
+    # Shared adoption transaction
+    # ------------------------------------------------------------------ #
+    def _adopt_unit(
+        self,
+        network: SensorNetwork,
+        orphan: int,
+        adopter: int,
+        units: list[list[int]],
+        unit_id: dict[int, int],
+        unit_parent: dict[int, int | None],
+        cascade: _Cascade,
+        wave_added: list[int],
+    ) -> bool:
+        """Attempt one adoption handshake; on success re-root the unit.
+
+        The request/ack pair and the pointer-flip chain are charged through
+        the radio models *at adoption time*, so a permanent delivery failure
+        of the handshake leaves the unit unattached (the caller falls back
+        to its next candidate) instead of aborting the repair.  A failure
+        inside the pointer-flip chain still propagates: the unit is already
+        committed to its new attachment point at that stage.
+        """
+        links = [(orphan, adopter), (adopter, orphan)]
+        sizes = [ATTACH_REQUEST_BITS, ATTACH_ACK_BITS]
+        reversal_path: list[int] = []
+        child = orphan
+        ancestor = unit_parent[orphan]
+        while ancestor is not None:
+            links.append((child, ancestor))
+            sizes.append(REVERSAL_BITS)
+            reversal_path.append(ancestor)
+            child = ancestor
+            ancestor = unit_parent[ancestor]
+        if cascade.deferred_links is not None:
+            # Perfect radio: no handshake can fail, charge the cascade in
+            # one batch at the end (identical ledger, far fewer calls).
+            cascade.deferred_links.extend(links)
+            cascade.deferred_sizes.extend(sizes)
+        else:
+            try:
+                network.send_batch(
+                    links, sizes, protocol=self.protocol, require_edge=False
+                )
+            except DeliveryError as error:
+                delivered = getattr(error, "outcomes_before_failure", ())
+                if len(delivered) < 2:
+                    # The handshake itself never completed: nothing was
+                    # committed, the caller may try another attachment point.
+                    cascade.failed_units.add(unit_id[orphan])
+                    return False
+                raise  # a pointer flip failed after the unit committed
+        unit = unit_id[orphan]
+        cascade.adopted_units.append((unit, orphan, adopter))
+        overrides = cascade.parent_overrides
+        changed = cascade.parent_changed
+        overrides[orphan] = adopter
+        changed.append(orphan)
+        child = orphan
+        for ancestor in reversal_path:
+            overrides[ancestor] = child
+            changed.append(ancestor)
+            child = ancestor
+        attached = cascade.attached
+        attach_log = cascade.attach_log
+        for member in units[unit]:
+            attached.add(member)
+            attach_log.append(member)
+            wave_added.append(member)
+        return True
+
+    def _raise_if_exhausted(
+        self,
+        cascade: _Cascade,
+        units: list[list[int]],
+        result: RepairResult,
+    ) -> None:
+        exhausted = sorted(
+            unit
+            for unit in cascade.failed_units
+            if units[unit][0] not in cascade.attached
+        )
+        if exhausted:
+            members = [tuple(units[unit]) for unit in exhausted]
+            error = DeliveryError(
+                f"adoption exhausted every candidate attachment point for "
+                f"orphan unit(s) {members}; the repaired tree (with those "
+                "units detached) was installed before raising"
+            )
+            error.repair_result = result
+            raise error
+
+    # ------------------------------------------------------------------ #
+    # Orphan-unit discovery (shared; O(damage))
     # ------------------------------------------------------------------ #
     def _orphan_units(
         self,
@@ -200,7 +780,9 @@ class TreeRepair:
         tree = network.tree
         old_parent = tree.parent
         old_children = tree.children
-        has_edge = network.graph.has_edge
+        adjacency = network.graph._adj
+        get_parent = old_parent.get
+        get_children = old_children.get
         unattached_set = set(unattached)
         unit_id: dict[int, int] = {}
         unit_parent: dict[int, int | None] = {}
@@ -208,40 +790,53 @@ class TreeRepair:
         for start in unattached:  # ascending ids: deterministic unit numbering
             if start in unit_id:
                 continue
+            # ``members`` doubles as the BFS queue: the cursor walks it while
+            # discovery appends, preserving the exact breadth-first member
+            # order the per-edge path produces.
             members = [start]
-            unit_id[start] = len(units)
-            queue = deque([start])
-            while queue:
-                node = queue.popleft()
-                parent = old_parent.get(node)
-                fragment_neighbors: list[int] = []
+            unit = len(units)
+            unit_id[start] = unit
+            cursor = 0
+            while cursor < len(members):
+                node = members[cursor]
+                cursor += 1
+                parent = get_parent(node)
+                neighbors = adjacency[node]
                 if (
                     parent is not None
                     and parent in unattached_set
-                    and has_edge(node, parent)
+                    and parent in neighbors
                 ):
                     unit_parent[node] = parent
-                    fragment_neighbors.append(parent)
+                    if parent not in unit_id:
+                        unit_id[parent] = unit
+                        members.append(parent)
                 else:
                     unit_parent[node] = None
-                for child in old_children.get(node, ()):
-                    if child in unattached_set and has_edge(child, node):
-                        fragment_neighbors.append(child)
-                for neighbor in fragment_neighbors:
-                    if neighbor not in unit_id:
-                        unit_id[neighbor] = unit_id[start]
-                        members.append(neighbor)
-                        queue.append(neighbor)
+                for child in get_children(node, ()):
+                    if (
+                        child in unattached_set
+                        and child in neighbors
+                        and child not in unit_id
+                    ):
+                        unit_id[child] = unit
+                        members.append(child)
             units.append(members)
         return units, unit_id, unit_parent
 
+    # ------------------------------------------------------------------ #
+    # Rebuild-vs-incremental estimate
+    # ------------------------------------------------------------------ #
     def _should_rebuild(
         self,
         network: SensorNetwork,
         units: list[list[int]],
         unattached: list[int],
     ) -> bool:
-        """Compare the incremental cost upper bound against the flood estimate."""
+        """Compare the incremental cost upper bound against the flood estimate.
+
+        The reference computation: one pass over the whole edge set.
+        """
         estimated_incremental = len(units) * (
             ATTACH_REQUEST_BITS + ATTACH_ACK_BITS
         ) + len(unattached) * REVERSAL_BITS
@@ -254,92 +849,57 @@ class TreeRepair:
         ) * REBUILD_TOKEN_BITS
         return estimated_incremental > self.rebuild_threshold * estimated_rebuild
 
-    # ------------------------------------------------------------------ #
-    # Incremental adoption
-    # ------------------------------------------------------------------ #
-    def _incremental(
+    def _should_rebuild_batched(
         self,
         network: SensorNetwork,
-        attached: set[int],
         units: list[list[int]],
-        unit_id: dict[int, int],
-        unit_parent: dict[int, int | None],
-        old_nodes: set[int],
-    ) -> RepairResult:
-        graph = network.graph
-        old_parent = network.tree.parent
-        is_alive = network.is_alive
-        new_parent: dict[int, int | None] = {
-            node: old_parent[node] for node in attached
-        }
-        links: list[tuple[int, int]] = []
-        sizes: list[int] = []
-        parent_changed: list[int] = []
-        waves = 0
-        frontier = sorted(attached)
-        while frontier:
-            next_frontier: list[int] = []
-            for adopter in frontier:
-                for orphan in sorted(graph.neighbors(adopter)):
-                    if orphan in attached or not is_alive(orphan):
-                        continue
-                    # Adopt the orphan's whole unit at this contact point.
-                    links.append((orphan, adopter))
-                    sizes.append(ATTACH_REQUEST_BITS)
-                    links.append((adopter, orphan))
-                    sizes.append(ATTACH_ACK_BITS)
-                    new_parent[orphan] = adopter
-                    parent_changed.append(orphan)
-                    # Re-root the fragment at the contact point: reverse the
-                    # parent pointers on the path up to the fragment top.
-                    child = orphan
-                    ancestor = unit_parent[orphan]
-                    while ancestor is not None:
-                        links.append((child, ancestor))
-                        sizes.append(REVERSAL_BITS)
-                        new_parent[ancestor] = child
-                        parent_changed.append(ancestor)
-                        child = ancestor
-                        ancestor = unit_parent[ancestor]
-                    for member in units[unit_id[orphan]]:
-                        if member not in new_parent:
-                            # Off the reversal path: pointers are untouched.
-                            new_parent[member] = unit_parent[member]
-                        attached.add(member)
-                        next_frontier.append(member)
-            if next_frontier:
-                waves += 1
-            frontier = next_frontier
+        unattached: list[int],
+        num_attached: int,
+    ) -> bool:
+        """Same decision as :meth:`_should_rebuild` without the edge scan.
 
-        detached = tuple(
-            node for node in sorted(unit_id) if node not in attached
+        The surviving tree edges alone bound the alive edge count from
+        below — the attached region is connected (``num_attached - 1``
+        edges) and every orphan unit is a surviving fragment (``size - 1``
+        edges each) — which bounds the flood estimate from below and settles
+        the comparison whenever the incremental estimate is already cheaper
+        than that, the common case by orders of magnitude.  Only near the
+        boundary is the exact count computed, and then from the (small) dead
+        boundary rather than the whole edge set: an edge is dead exactly
+        when it touches a dead node.
+        """
+        estimated_incremental = len(units) * (
+            ATTACH_REQUEST_BITS + ATTACH_ACK_BITS
+        ) + len(unattached) * REVERSAL_BITS
+        surviving_tree_edges = (
+            max(0, num_attached - 1) + len(unattached) - len(units)
         )
-        child_losses: list[tuple[int, int]] = []
-        for child, parent in old_parent.items():
-            if parent is None or parent not in attached:
-                continue
-            if new_parent.get(child) != parent:
-                child_losses.append((parent, child))
-        removed = tuple(sorted(old_nodes - attached))
-
-        network.tree = tree_from_parents(
-            network.root_id, {node: new_parent[node] for node in attached}
+        lower_bound = (
+            2 * surviving_tree_edges + network.num_alive
+        ) * REBUILD_TOKEN_BITS
+        if estimated_incremental <= self.rebuild_threshold * lower_bound:
+            return False
+        adjacency = network.graph._adj
+        dead = network.dead_node_ids()
+        dead_set = set(dead)
+        incident = 0
+        dead_to_dead = 0
+        for node in dead:
+            neighbors = adjacency[node]
+            incident += len(neighbors)
+            for neighbor in neighbors:
+                if neighbor in dead_set:
+                    dead_to_dead += 1
+        alive_edges = (
+            network.graph.number_of_edges() - incident + dead_to_dead // 2
         )
-        control_bits, control_messages = self._charge(network, links, sizes, waves)
-        return RepairResult(
-            strategy="incremental",
-            rebuilt=False,
-            parent_changed=tuple(parent_changed),
-            child_losses=tuple(sorted(child_losses)),
-            removed=removed,
-            detached=detached,
-            control_bits=control_bits,
-            control_messages=control_messages,
-            rounds=waves,
-        )
+        estimated_rebuild = (
+            2 * alive_edges + network.num_alive
+        ) * REBUILD_TOKEN_BITS
+        return estimated_incremental > self.rebuild_threshold * estimated_rebuild
 
     # ------------------------------------------------------------------ #
-    # Rebuild-from-scratch fallback
+    # Rebuild-from-scratch fallback (shared)
     # ------------------------------------------------------------------ #
     def _rebuild(self, network: SensorNetwork, old_nodes: set[int]) -> RepairResult:
         graph = network.graph
@@ -368,7 +928,11 @@ class TreeRepair:
                 sizes.append(REBUILD_ACK_BITS)
         network.tree = tree
         rounds = tree.height + 1
-        control_bits, control_messages = self._charge(network, links, sizes, rounds)
+        before = network.ledger.counters_snapshot()
+        if links:
+            network.send_batch(links, sizes, protocol=self.protocol, require_edge=False)
+        network.ledger.advance_round(rounds)
+        after = network.ledger.counters_snapshot()
         return RepairResult(
             strategy="rebuild",
             rebuilt=True,
@@ -376,31 +940,7 @@ class TreeRepair:
             child_losses=(),
             removed=tuple(sorted(old_nodes - component)),
             detached=tuple(sorted(alive - component)),
-            control_bits=control_bits,
-            control_messages=control_messages,
+            control_bits=after.total_bits - before.total_bits,
+            control_messages=after.messages - before.messages,
             rounds=rounds,
-        )
-
-    def _charge(
-        self,
-        network: SensorNetwork,
-        links: list[tuple[int, int]],
-        sizes: list[int],
-        rounds: int,
-    ) -> tuple[int, int]:
-        """Charge the control traffic (plus rounds) and return (bits, messages).
-
-        Uses :meth:`~repro.network.SensorNetwork.send_batch` so lossy-radio
-        retries inflate the measured repair cost exactly as they would any
-        protocol — and so repair charges identically under both execution
-        modes (it never branches on ``network.execution``).
-        """
-        before = network.ledger.counters_snapshot()
-        if links:
-            network.send_batch(links, sizes, protocol=self.protocol, require_edge=False)
-        network.ledger.advance_round(rounds)
-        after = network.ledger.counters_snapshot()
-        return (
-            after.total_bits - before.total_bits,
-            after.messages - before.messages,
         )

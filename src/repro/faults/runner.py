@@ -5,7 +5,8 @@
 1. pull this epoch's reading updates from the stream (and any explicit
    node-offline/online events the stream emits, e.g. a
    :class:`~repro.workloads.ChurnStream` in event mode);
-2. let the :class:`~repro.faults.FaultEngine` apply fault events and repair
+2. let the :class:`~repro.faults.FaultEngine` apply fault events, run the
+   heartbeat sweep of its failure detector (when one is charged) and repair
    the spanning tree, charging control traffic to the shared ledger;
 3. feed the repair outcome to the query engine's recovery protocol
    (:meth:`~repro.streaming.ContinuousQueryEngine.apply_repair`), so only
@@ -106,18 +107,38 @@ def run_faulty_stream(
         mid = network.ledger.counters_snapshot()
 
         tree_nodes = network.tree.parent
+        # Crashed-but-undetected nodes still sit in the tree, but their
+        # sensors are gone: a zombie reads nothing, so its updates vanish
+        # (its stale cached summary lingering at the root is exactly the
+        # answer-error cost of the detection window).
+        undetected = getattr(faults, "undetected_dead", frozenset())
         reachable_updates = {
             node_id: items
             for node_id, items in updates.items()
-            if node_id in tree_nodes
+            if node_id in tree_nodes and node_id not in undetected
         }
+        # A flap (crash + rejoin inside one detection window) leaves the
+        # tree untouched but replaced the node's readings wholesale; surface
+        # it as this epoch's update so the stale pre-crash summary is
+        # re-synchronised instead of being served forever.
+        for node_id in report.flapped:
+            if node_id in tree_nodes:
+                reachable_updates[node_id] = list(network.node(node_id).items)
         record = engine.advance_epoch(reachable_updates)
         after = network.ledger.counters_snapshot()
 
-        repair_bits = mid.total_bits - before.total_bits
+        # Heartbeats were charged inside faults.step; keep them (bits and
+        # message counts both) out of the repair column so the three cost
+        # streams stay separable.
+        repair_bits = (
+            mid.total_bits - before.total_bits - report.detection_bits
+        )
+        repair_messages = (
+            mid.messages - before.messages - report.detection_messages
+        )
         repair_rounds = mid.rounds - before.rounds
         repair_energy_nj = (
-            repair_bits * per_bit_nj
+            (repair_bits + report.detection_bits) * per_bit_nj
             + energy.idle_nj_per_round * repair_rounds * network.num_nodes
         )
         truths: dict[str, float] = {}
@@ -141,7 +162,7 @@ def run_faulty_stream(
                 alive=network.num_alive,
                 attached=len(tree_nodes),
                 repair_bits=repair_bits,
-                repair_messages=mid.messages - before.messages,
+                repair_messages=repair_messages,
                 query_bits=record.bits,
                 total_bits=after.total_bits - before.total_bits,
                 messages=after.messages - before.messages,
@@ -153,6 +174,13 @@ def run_faulty_stream(
                 answers=dict(record.answers),
                 truths=truths,
                 errors=errors,
+                detection_bits=report.detection_bits,
+                detected=len(report.detected),
+                detection_latency=(
+                    sum(report.detection_latencies) / len(report.detected)
+                    if report.detected
+                    else 0.0
+                ),
             )
         )
     return trace

@@ -3,11 +3,14 @@
 A :class:`FaultTrace` is the resilience counterpart of
 :class:`~repro.streaming.StreamingTrace`: one record per epoch splitting the
 traffic into *repair* control bits (adoption handshakes, pointer flips, or
-the rebuild flood) and *query* bits (the streaming engine's summary
-re-synchronisation), alongside the fault events applied, the surviving
-population, and the answer error against the attached ground truth.  The
-fault benchmarks consume traces to show that incremental repair plus delta
-re-sync beats rebuild-and-recompute.
+the rebuild flood), *query* bits (the streaming engine's summary
+re-synchronisation) and *detection* bits (the heartbeat sweeps of a
+:class:`~repro.faults.HeartbeatDetector`, when one is charged), alongside
+the fault events applied, the detection latency actually observed, the
+surviving population, and the answer error against the attached ground
+truth.  The fault benchmarks consume traces to show that incremental repair
+plus delta re-sync beats rebuild-and-recompute — and what the knowledge
+that repair acts on costs by itself.
 """
 
 from __future__ import annotations
@@ -43,6 +46,13 @@ class FaultEpochRecord:
     answers: dict[str, Any] = field(default_factory=dict)
     truths: dict[str, float] = field(default_factory=dict)
     errors: dict[str, float] = field(default_factory=dict)
+    #: Heartbeat traffic charged this epoch — the standing price of failure
+    #: detection, accounted separately from repair and query bits.
+    detection_bits: int = 0
+    #: Crashes whose heartbeat silence was noticed this epoch.
+    detected: int = 0
+    #: Mean epochs from crash to detection, over this epoch's detections.
+    detection_latency: float = 0.0
 
     @property
     def had_faults(self) -> bool:
@@ -51,6 +61,7 @@ class FaultEpochRecord:
             self.crashes + self.rejoins + self.link_drops + self.link_restores > 0
             or self.rebuilt
             or self.reparented > 0
+            or self.detected > 0
         )
 
 
@@ -83,6 +94,26 @@ class FaultTrace:
     @property
     def total_query_bits(self) -> int:
         return sum(record.query_bits for record in self.records)
+
+    @property
+    def total_detection_bits(self) -> int:
+        """Heartbeat traffic across the run — what knowing about failures cost."""
+        return sum(record.detection_bits for record in self.records)
+
+    @property
+    def total_detected(self) -> int:
+        return sum(record.detected for record in self.records)
+
+    @property
+    def mean_detection_latency(self) -> float:
+        """Mean epochs from crash to detection, over every detected crash."""
+        detected = self.total_detected
+        if detected == 0:
+            return 0.0
+        weighted = sum(
+            record.detection_latency * record.detected for record in self.records
+        )
+        return weighted / detected
 
     @property
     def total_energy_nj(self) -> float:

@@ -20,20 +20,35 @@ protocol implementations can sweep whole levels with list indexing only:
   order, so level sweeps are contiguous slices,
 * ``up_links`` / ``down_links`` are the tree's edge sequences as
   ``(sender, receiver)`` node-id pairs, in exactly the order the per-edge
-  convergecast and broadcast sweeps transmit them — precomputed once so
-  full-tree batched sweeps ship a ready-made link list to
-  ``SensorNetwork.send_batch``.
+  convergecast and broadcast sweeps transmit them — computed on first use
+  and then shared, so full-tree batched sweeps ship a ready-made link list
+  to ``SensorNetwork.send_batch`` while repair-heavy runs that never sweep
+  the full tree do not pay for them.
 
 The representation is immutable by convention: it is built once per spanning
 tree (``SensorNetwork.flat_tree`` caches it and rebuilds only when the tree
-object changes) and shared by every batched traversal.
+object changes) and shared by every batched traversal.  Fault repair is the
+one producer of *slightly different* trees at high frequency, so it does not
+rebuild from scratch: :meth:`FlatTree.rewire` re-spans the arrays around a
+set of pointer flips, removals and insertions in one linear pass — no
+re-validation, no depth sort — and the repaired network installs the result
+via :meth:`~repro.network.SensorNetwork.set_tree`.
 """
 
 from __future__ import annotations
 
-from typing import Iterator
+from typing import Iterable, Iterator, Mapping
 
+from repro.exceptions import ConfigurationError
 from repro.network.spanning_tree import SpanningTree
+
+try:  # optional acceleration; every public array stays a plain Python list
+    import numpy as _np
+except ImportError:  # pragma: no cover - the test-suite ships with numpy
+    _np = None
+
+#: Below this size the vectorised re-span costs more than it saves.
+_NUMPY_REWIRE_MIN_NODES = 512
 
 
 class FlatTree:
@@ -52,8 +67,8 @@ class FlatTree:
         "child_index",
         "bottom_up",
         "level_spans",
-        "up_links",
-        "down_links",
+        "_up_links",
+        "_down_links",
     )
 
     def __init__(self, tree: SpanningTree) -> None:
@@ -95,18 +110,41 @@ class FlatTree:
         self.child_index = child_index
         self.bottom_up = [index[node] for node in tree.nodes_bottom_up()]
         self.level_spans = level_spans
-        # Tree edges are static, so the link sequences of full-tree sweeps can
-        # be shared by every traversal instead of rebuilt per protocol run.
-        self.up_links = [
-            (order[position], order[parent[position]])
-            for position in self.bottom_up
-            if parent[position] >= 0
-        ]
-        self.down_links = [
-            (node, order[child])
-            for position, node in enumerate(order)
-            for child in child_index[child_start[position] : child_end[position]]
-        ]
+        self._up_links = None
+        self._down_links = None
+
+    @property
+    def up_links(self) -> list[tuple[int, int]]:
+        """Every child→parent edge, in the order the bottom-up sweep sends.
+
+        Tree edges are static, so the link sequence is computed once on
+        first use and shared by every traversal instead of rebuilt per
+        protocol run.
+        """
+        if self._up_links is None:
+            order = self.node_ids
+            parent = self.parent
+            self._up_links = [
+                (order[position], order[parent[position]])
+                for position in self.bottom_up
+                if parent[position] >= 0
+            ]
+        return self._up_links
+
+    @property
+    def down_links(self) -> list[tuple[int, int]]:
+        """Every parent→child edge, in the order the top-down sweep sends."""
+        if self._down_links is None:
+            order = self.node_ids
+            child_start = self.child_start
+            child_end = self.child_end
+            child_index = self.child_index
+            self._down_links = [
+                (node, order[child])
+                for position, node in enumerate(order)
+                for child in child_index[child_start[position] : child_end[position]]
+            ]
+        return self._down_links
 
     @classmethod
     def from_spanning_tree(cls, tree: SpanningTree) -> "FlatTree":
@@ -120,6 +158,294 @@ class FlatTree:
         """
         tree.check_invariants()
         return cls(tree)
+
+    # ------------------------------------------------------------------ #
+    # Incremental re-span
+    # ------------------------------------------------------------------ #
+    def rewire(
+        self,
+        removed: Iterable[int] = (),
+        reparented: Mapping[int, int] | None = None,
+        depths: Mapping[int, int] | None = None,
+    ) -> "FlatTree":
+        """Build the flat view of a patched tree without a full rebuild.
+
+        ``removed`` lists node ids dropped from the tree (crashed or
+        detached), ``reparented`` maps every node whose parent pointer
+        changed — including nodes *entering* the tree — to its new parent
+        id, and ``depths`` gives the new depth of every node whose depth may
+        have changed (every reparented node, plus fragment members that kept
+        their parent but moved with their unit).  Nodes in neither mapping
+        keep their position relative to their level.
+
+        The canonical order (by level, ascending id within a level) is
+        reassembled by merging each level's surviving run with its sorted
+        insertions, so the result is *identical* to
+        ``FlatTree.from_spanning_tree`` on the patched tree — one linear
+        pass, no depth sort, no invariant re-validation.  The root can be
+        neither removed nor reparented.
+        """
+        reparented = {} if reparented is None else reparented
+        depths = {} if depths is None else depths
+        for node in reparented:
+            if node not in depths:
+                raise ConfigurationError(
+                    f"reparented node {node} has no entry in depths; every "
+                    "parent change must supply the node's new depth"
+                )
+        if self.root_id in reparented or self.root_id in depths:
+            raise ConfigurationError("the root cannot be reparented or moved")
+        displaced = set(removed)
+        if displaced and not displaced.isdisjoint(depths):
+            raise ConfigurationError(
+                "removed and depths overlap; a node cannot both leave the "
+                "tree and take a new position in it"
+            )
+        displaced.update(depths)
+
+        insertions: dict[int, list[int]] = {}
+        for node, level in depths.items():
+            insertions.setdefault(level, []).append(node)
+        for members in insertions.values():
+            members.sort()
+
+        if _np is not None and self.num_nodes >= _NUMPY_REWIRE_MIN_NODES:
+            return self._rewire_numpy(displaced, reparented, insertions)
+        return self._rewire_python(displaced, reparented, insertions)
+
+    def _rewire_python(
+        self,
+        displaced: set[int],
+        reparented: Mapping[int, int],
+        insertions: dict[int, list[int]],
+    ) -> "FlatTree":
+        old_order = self.node_ids
+        old_spans = self.level_spans
+        old_index = self.index
+        old_parent = self.parent
+        max_level = max(
+            len(old_spans) - 1, max(insertions) if insertions else 0
+        )
+        # Walk the old canonical order once, splicing each level's sorted
+        # arrivals into its surviving run.  ``old_to_new`` / ``new_to_old``
+        # record the position translation so survivors' parent pointers can
+        # later be translated with pure list indexing — a survivor's parent
+        # is itself a survivor, since a moved parent moves its whole subtree
+        # (their depths all change) and a removed parent removes or
+        # reparents its children.
+        order: list[int] = []
+        new_to_old: list[int] = []
+        old_to_new = [-1] * self.num_nodes
+        level_spans: list[tuple[int, int]] = []
+        for level in range(max_level + 1):
+            begin = len(order)
+            start, end = old_spans[level] if level < len(old_spans) else (0, 0)
+            arrivals = insertions.get(level)
+            if arrivals is None:
+                for position in range(start, end):
+                    node = old_order[position]
+                    if node not in displaced:
+                        old_to_new[position] = len(order)
+                        new_to_old.append(position)
+                        order.append(node)
+            else:
+                slot = 0
+                pending = len(arrivals)
+                for position in range(start, end):
+                    node = old_order[position]
+                    if node in displaced:
+                        continue
+                    while slot < pending and arrivals[slot] < node:
+                        new_to_old.append(-1)
+                        order.append(arrivals[slot])
+                        slot += 1
+                    old_to_new[position] = len(order)
+                    new_to_old.append(position)
+                    order.append(node)
+                for node in arrivals[slot:]:
+                    new_to_old.append(-1)
+                    order.append(node)
+            level_spans.append((begin, len(order)))
+        # A valid tree has contiguous depths, so only trailing levels can
+        # empty out (a repair that truncated the deepest fragments).
+        while level_spans and level_spans[-1][0] == level_spans[-1][1]:
+            level_spans.pop()
+
+        num_nodes = len(order)
+        index = {node: position for position, node in enumerate(order)}
+        parent = [-1] * num_nodes
+        depth = [0] * num_nodes
+        for level, (start, end) in enumerate(level_spans):
+            if level:
+                depth[start:end] = [level] * (end - start)
+        # Children bucketed by parent in canonical-position order: within a
+        # level positions ascend by id, so each bucket comes out in exactly
+        # the ascending-id order SpanningTree keeps its child lists in.
+        # Survivors translate their parent through the position maps; only
+        # arrivals (the damage) need id-level resolution.
+        buckets: list[list[int]] = [[] for _ in range(num_nodes)]
+        get_reparented = reparented.get
+        for position in range(1, num_nodes):
+            old_position = new_to_old[position]
+            if old_position >= 0:
+                parent_position = old_to_new[old_parent[old_position]]
+            else:
+                node = order[position]
+                parent_id = get_reparented(node)
+                if parent_id is None:
+                    parent_id = old_order[old_parent[old_index[node]]]
+                parent_position = index[parent_id]
+            parent[position] = parent_position
+            buckets[parent_position].append(position)
+        child_start = [0] * num_nodes
+        child_end = [0] * num_nodes
+        child_index: list[int] = []
+        for position in range(num_nodes):
+            child_start[position] = len(child_index)
+            child_index.extend(buckets[position])
+            child_end[position] = len(child_index)
+
+        height = len(level_spans) - 1
+        bottom_up: list[int] = []
+        for level in range(height, -1, -1):
+            start, end = level_spans[level]
+            bottom_up.extend(range(start, end))
+
+        rewired = object.__new__(FlatTree)
+        rewired.root_id = self.root_id
+        rewired.num_nodes = num_nodes
+        rewired.height = height
+        rewired.node_ids = order
+        rewired.index = index
+        rewired.parent = parent
+        rewired.depth = depth
+        rewired.child_start = child_start
+        rewired.child_end = child_end
+        rewired.child_index = child_index
+        rewired.bottom_up = bottom_up
+        rewired.level_spans = level_spans
+        rewired._up_links = None
+        rewired._down_links = None
+        return rewired
+
+    def _rewire_numpy(
+        self,
+        displaced: set[int],
+        reparented: Mapping[int, int],
+        insertions: dict[int, list[int]],
+    ) -> "FlatTree":
+        """Vectorised re-span; produces exactly the arrays of the pure path.
+
+        numpy stays an internal accelerator: every slot is converted back to
+        a plain Python list, so nothing downstream ever sees a numpy scalar.
+        """
+        np = _np
+        old_order = self.node_ids
+        old_parent = self.parent
+        old_index = self.index
+        old_spans = self.level_spans
+        old_order_np = np.asarray(old_order, dtype=np.int64)
+        old_parent_np = np.asarray(old_parent, dtype=np.int64)
+
+        keep = np.ones(self.num_nodes, dtype=bool)
+        displaced_positions = [
+            old_index[node] for node in displaced if node in old_index
+        ]
+        if displaced_positions:
+            keep[np.asarray(displaced_positions, dtype=np.int64)] = False
+
+        max_level = max(
+            len(old_spans) - 1, max(insertions) if insertions else 0
+        )
+        order_parts: list = []
+        origin_parts: list = []
+        level_spans: list[tuple[int, int]] = []
+        begin = 0
+        for level in range(max_level + 1):
+            start, end = old_spans[level] if level < len(old_spans) else (0, 0)
+            surviving = np.nonzero(keep[start:end])[0]
+            if start:
+                surviving = surviving + start
+            level_nodes = old_order_np[surviving]
+            level_origin = surviving
+            arrivals = insertions.get(level)
+            if arrivals:
+                arrival_nodes = np.asarray(arrivals, dtype=np.int64)
+                level_nodes = np.concatenate([level_nodes, arrival_nodes])
+                level_origin = np.concatenate(
+                    [level_origin, np.full(len(arrivals), -1, dtype=np.int64)]
+                )
+                sorter = np.argsort(level_nodes)  # ids are unique per level
+                level_nodes = level_nodes[sorter]
+                level_origin = level_origin[sorter]
+            size = int(level_nodes.shape[0])
+            level_spans.append((begin, begin + size))
+            begin += size
+            order_parts.append(level_nodes)
+            origin_parts.append(level_origin)
+        while level_spans and level_spans[-1][0] == level_spans[-1][1]:
+            level_spans.pop()
+            order_parts.pop()
+            origin_parts.pop()
+
+        order_np = np.concatenate(order_parts)
+        new_to_old = np.concatenate(origin_parts)
+        num_nodes = int(order_np.shape[0])
+        old_to_new = np.full(self.num_nodes, -1, dtype=np.int64)
+        survivors = new_to_old >= 0
+        old_to_new[new_to_old[survivors]] = np.nonzero(survivors)[0]
+
+        # Survivors translate their parent pointer wholesale (a survivor's
+        # parent is itself a survivor); only arrivals resolve through ids.
+        parent_np = np.full(num_nodes, -1, dtype=np.int64)
+        survivor_mask = survivors.copy()
+        survivor_mask[0] = False  # the root keeps parent -1
+        parent_np[survivor_mask] = old_to_new[
+            old_parent_np[new_to_old[survivor_mask]]
+        ]
+        order_list = order_np.tolist()
+        index = {node: position for position, node in enumerate(order_list)}
+        get_reparented = reparented.get
+        for position in np.nonzero(~survivors)[0].tolist():
+            node = order_list[position]
+            parent_id = get_reparented(node)
+            if parent_id is None:
+                parent_id = old_order[old_parent[old_index[node]]]
+            parent_np[position] = index[parent_id]
+
+        lengths = [end - start for start, end in level_spans]
+        depth_np = np.repeat(
+            np.arange(len(level_spans), dtype=np.int64), lengths
+        )
+        # Children grouped by parent, position-ascending within each group —
+        # a stable argsort of the parent column is exactly the bucket pass.
+        child_positions = np.argsort(parent_np[1:], kind="stable") + 1
+        child_counts = np.bincount(parent_np[1:], minlength=num_nodes)
+        child_end_np = np.cumsum(child_counts)
+        child_start_np = child_end_np - child_counts
+        bottom_up_np = np.concatenate(
+            [
+                np.arange(start, end, dtype=np.int64)
+                for start, end in reversed(level_spans)
+            ]
+        )
+
+        rewired = object.__new__(FlatTree)
+        rewired.root_id = self.root_id
+        rewired.num_nodes = num_nodes
+        rewired.height = len(level_spans) - 1
+        rewired.node_ids = order_list
+        rewired.index = index
+        rewired.parent = parent_np.tolist()
+        rewired.depth = depth_np.tolist()
+        rewired.child_start = child_start_np.tolist()
+        rewired.child_end = child_end_np.tolist()
+        rewired.child_index = child_positions.tolist()
+        rewired.bottom_up = bottom_up_np.tolist()
+        rewired.level_spans = level_spans
+        rewired._up_links = None
+        rewired._down_links = None
+        return rewired
 
     # ------------------------------------------------------------------ #
     # Convenience accessors (traversals index the arrays directly)

@@ -198,6 +198,25 @@ class SensorNetwork:
             self._flat_tree_source = self.tree
         return self._flat_tree
 
+    def set_tree(self, tree: SpanningTree, flat_tree: FlatTree | None = None) -> None:
+        """Install ``tree``, optionally together with its prebuilt flat view.
+
+        Assigning :attr:`tree` a *new* object invalidates the flat-view cache
+        by identity; code that patches the current tree **in place** (the
+        batched fault repair) must come through here instead, supplying the
+        :meth:`FlatTree.rewire` result, so the cache cannot keep serving
+        arrays of the pre-patch tree.  With ``flat_tree=None`` the cache is
+        dropped and rebuilt lazily on next access.
+        """
+        if flat_tree is not None and flat_tree.root_id != tree.root:
+            raise ConfigurationError(
+                f"flat view is rooted at {flat_tree.root_id} but the tree at "
+                f"{tree.root}"
+            )
+        self.tree = tree
+        self._flat_tree = flat_tree
+        self._flat_tree_source = tree if flat_tree is not None else None
+
     @property
     def node_map(self) -> Mapping[int, SensorNode]:
         """The node-id → :class:`SensorNode` table (treat as read-only)."""

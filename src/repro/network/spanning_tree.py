@@ -23,7 +23,7 @@ Two constructions are provided:
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import networkx as nx
 
@@ -58,12 +58,27 @@ class SpanningTree:
         return best
 
     def nodes_bottom_up(self) -> list[int]:
-        """Nodes ordered so every node appears before its parent."""
-        return sorted(self.parent, key=lambda node: -self.depth[node])
+        """Nodes ordered so every node appears before its parent.
+
+        The order is *canonical* — deepest level first, ascending node id
+        within a level — so two trees with equal parent/depth content
+        traverse (and therefore charge radio transmissions) identically, no
+        matter how their dictionaries were built.  The incremental fault
+        repair relies on this: its batched and per-edge paths construct the
+        same repaired tree through different code, and every later sweep
+        must stay bit-for-bit ledger-equivalent between them.
+        """
+        depth = self.depth
+        return sorted(self.parent, key=lambda node: (-depth[node], node))
 
     def nodes_top_down(self) -> list[int]:
-        """Nodes ordered so every node appears after its parent."""
-        return sorted(self.parent, key=lambda node: self.depth[node])
+        """Nodes ordered so every node appears after its parent.
+
+        Canonical like :meth:`nodes_bottom_up`: by level, ascending node id
+        within a level.
+        """
+        depth = self.depth
+        return sorted(self.parent, key=lambda node: (depth[node], node))
 
     def subtree_nodes(self, node: int) -> list[int]:
         """All nodes in the subtree rooted at ``node`` (including it)."""

@@ -131,8 +131,10 @@ class ContinuousQueryEngine:
         """Re-synchronise the summary caches after a spanning-tree repair.
 
         ``result`` is a :class:`~repro.faults.RepairResult` (duck-typed, so
-        the streaming layer does not import the faults package).  The
-        recovery protocol re-transmits only along repaired paths:
+        the streaming layer does not import the faults package); the batched
+        and per-edge repair implementations produce identical results, so
+        recovery is oblivious to which one ran.  The recovery protocol
+        re-transmits only along repaired paths:
 
         * nodes whose parent changed forget what they last transmitted (the
           new parent caches nothing for them) and are marked dirty — their

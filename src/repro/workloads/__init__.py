@@ -28,6 +28,7 @@ from repro.workloads.faults import (
     crash_storm_script,
     link_storm_script,
     regional_outage_script,
+    storm_under_churn_script,
 )
 from repro.workloads.streams import (
     STREAM_WORKLOADS,
@@ -62,4 +63,5 @@ __all__ = [
     "regional_outage_script",
     "churn_script",
     "link_storm_script",
+    "storm_under_churn_script",
 ]

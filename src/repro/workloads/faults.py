@@ -178,6 +178,47 @@ def churn_script(
     return script
 
 
+def storm_under_churn_script(
+    node_ids: Sequence[int],
+    epochs: int,
+    storm_epoch: int,
+    storm_fraction: float = 0.1,
+    rejoin_epoch: int | None = None,
+    churn_rate: float = 0.002,
+    seed: int | None = 0,
+    rejoin_value_max: int = 1 << 16,
+    root: int = 0,
+) -> FaultScript:
+    """A mass crash riding on realistic background churn.
+
+    The sustained-churn regime is where per-fault-epoch repair cost matters:
+    every epoch a small fraction of the field flaps, so the repair pass runs
+    constantly on small damage, and then a ``storm_fraction`` crash (with
+    optional recovery at ``rejoin_epoch``) lands on top.  This is the
+    scenario the wall-clock fault benchmarks race the two repair
+    implementations on.
+    """
+    storm = crash_storm_script(
+        node_ids,
+        epoch=storm_epoch,
+        fraction=storm_fraction,
+        seed=seed,
+        rejoin_epoch=rejoin_epoch,
+        rejoin_value_max=rejoin_value_max,
+        root=root,
+    )
+    churn = churn_script(
+        node_ids,
+        epochs=max(1, epochs - 1),
+        churn_rate=churn_rate,
+        start_epoch=1,
+        seed=seed,
+        rejoin_value_max=rejoin_value_max,
+        root=root,
+    )
+    return storm.merge(churn)
+
+
 def link_storm_script(
     graph: nx.Graph,
     epoch: int,

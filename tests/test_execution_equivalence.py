@@ -336,6 +336,129 @@ def test_faulted_sweeps_are_ledger_identical(topology, radio_name, seed):
     assert_ledgers_identical(batched, per_edge)
 
 
+@pytest.mark.slow
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("radio_name", sorted(RADIOS))
+@pytest.mark.parametrize("topology", TOPOLOGIES)
+def test_repair_paths_produce_identical_trees_and_ledgers(topology, radio_name, seed):
+    """Randomized fault scripts: the two repair implementations are twins.
+
+    The batched repair rewrites attached-set discovery, adoption-candidate
+    enumeration, the rebuild estimate and the tree materialisation, so this
+    suite drives both implementations through compound fault scripts (crash
+    storm + link storm + churn + recovery) and requires *everything*
+    observable to match: full ledger snapshots (per-node bits under lossy
+    retries included), the post-repair parent/children/depth maps, and the
+    flat-array view the batched traversals consume.
+    """
+    import random as random_module
+
+    from repro.faults import FaultEngine, TreeRepair
+    from repro.workloads.faults import (
+        churn_script,
+        crash_storm_script,
+        link_storm_script,
+    )
+
+    rng = random_module.Random(seed * 6151 + 3)
+    num_nodes = rng.choice([25, 36, 49, 64])
+    items = [rng.randrange(1, 500) for _ in range(num_nodes)]
+    networks = []
+    reports = []
+    for mode in ("batched", "per-edge"):
+        network = SensorNetwork.from_items(
+            items,
+            topology=topology,
+            seed=seed,
+            radio=RADIOS[radio_name](seed),
+            execution=mode,
+        )
+        script = crash_storm_script(
+            network.node_ids(), epoch=0, fraction=0.25, seed=seed, rejoin_epoch=2
+        ).merge(
+            link_storm_script(
+                network.graph, epoch=0, fraction=0.15, seed=seed, restore_epoch=2
+            )
+        ).merge(
+            churn_script(
+                network.node_ids(),
+                epochs=4,
+                churn_rate=0.12,
+                start_epoch=1,
+                seed=seed,
+            )
+        )
+        faults = FaultEngine(network, script=script, repair=TreeRepair())
+        reports.append([faults.step(epoch).repair for epoch in range(5)])
+        networks.append(network)
+
+    batched, per_edge = networks
+    # Identical repair outcomes, epoch by epoch...
+    assert reports[0] == reports[1]
+    # ...identical repaired trees in every representation...
+    assert batched.tree.parent == per_edge.tree.parent
+    assert batched.tree.children == per_edge.tree.children
+    assert batched.tree.depth == per_edge.tree.depth
+    batched.tree.check_invariants()
+    flat_b, flat_p = batched.flat_tree, per_edge.flat_tree
+    for slot in (
+        "node_ids",
+        "parent",
+        "depth",
+        "child_start",
+        "child_end",
+        "child_index",
+        "bottom_up",
+        "level_spans",
+        "up_links",
+        "down_links",
+    ):
+        assert getattr(flat_b, slot) == getattr(flat_p, slot), slot
+    # ...and bit-for-bit identical ledgers, radio randomness included.
+    assert_ledgers_identical(batched, per_edge)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("seed", [0, 1])
+@pytest.mark.parametrize("execution", ["batched", "per-edge"])
+def test_fault_storm_stack_stays_consistent_at_scale(execution, seed):
+    """A 10k-node storm-under-churn run keeps every invariant on both paths.
+
+    The invariant sweep (``check_invariants`` + graph validation per epoch)
+    dominates the runtime — this is the fault-storm stress test the ``slow``
+    marker exists for; tier-1 CI runs it on the 3.12 leg only.
+    """
+    from repro.faults import FaultEngine, TreeRepair
+    from repro.workloads.faults import storm_under_churn_script
+
+    network = SensorNetwork.from_items(
+        [0] * 10_000, topology="random_geometric", seed=seed, execution=execution
+    )
+    script = storm_under_churn_script(
+        network.node_ids(),
+        epochs=8,
+        storm_epoch=1,
+        storm_fraction=0.15,
+        rejoin_epoch=4,
+        churn_rate=0.005,
+        seed=seed,
+    )
+    faults = FaultEngine(network, script=script, repair=TreeRepair())
+    for epoch in range(8):
+        faults.step(epoch)
+        network.tree.check_invariants()
+        network.tree.validate(
+            network.graph, covering=set(network.tree.parent)
+        )
+    # The flat view the batched sweeps consume matches a from-scratch build.
+    from repro.network.flat_tree import FlatTree
+
+    scratch = FlatTree.from_spanning_tree(network.tree)
+    assert network.flat_tree.node_ids == scratch.node_ids
+    assert network.flat_tree.parent == scratch.parent
+    assert network.flat_tree.child_index == scratch.child_index
+
+
 @pytest.mark.parametrize("seed", [0, 1, 2])
 def test_faulted_streaming_engines_are_ledger_identical(seed):
     """The full resilient stack (faults + repair + recovery) on both paths."""

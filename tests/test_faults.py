@@ -540,3 +540,127 @@ class TestFaultToleranceStudy:
     def test_unknown_scenario_rejected(self):
         with pytest.raises(ConfigurationError):
             run_fault_tolerance_study(num_nodes=25, scenario="meteor")
+
+
+class TestAdoptionFallback:
+    """A permanently-failing handshake falls back to the next candidate.
+
+    ROADMAP's "Repair under loss" gap: a DeliveryError during an adoption
+    handshake used to abort the whole epoch.  The repair now tries the
+    orphan unit's next candidate attachment point and aborts only when
+    every candidate is exhausted — identically on both execution paths.
+    """
+
+    class BlockedLinksRadio:
+        """Reliable radio that permanently fails a chosen set of links."""
+
+        def __init__(self, blocked):
+            self.blocked = {tuple(link) for link in blocked}
+
+        def transmit(self, sender, receiver):
+            from repro.exceptions import DeliveryError
+            from repro.network.radio import DELIVERED_ONCE
+
+            if (sender, receiver) in self.blocked or (
+                receiver,
+                sender,
+            ) in self.blocked:
+                raise DeliveryError(f"link {sender}->{receiver} is jammed")
+            return DELIVERED_ONCE
+
+        def filter_batch(self, links):
+            from repro.exceptions import DeliveryError
+
+            outcomes = []
+            try:
+                for sender, receiver in links:
+                    outcomes.append(self.transmit(sender, receiver))
+            except DeliveryError as error:
+                error.outcomes_before_failure = tuple(outcomes)
+                raise
+            return outcomes
+
+        def reset(self):
+            pass
+
+    @pytest.mark.parametrize("execution", ["batched", "per-edge"])
+    def test_falls_back_to_next_candidate(self, execution):
+        # 3x3 grid, kill node 4 (the centre's neighbour structure is known):
+        # orphan 7's first candidate adopter is 6; jam that link and the
+        # handshake must retry through 8 instead of aborting the epoch.
+        network = fresh_network(9, execution=execution)
+        tree = network.tree
+        # find an orphan with at least two attached neighbours after a crash
+        victim = 4
+        network.kill_node(victim)
+        orphans = [n for n in tree.children.get(victim, ()) if network.is_alive(n)]
+        assert orphans, "test topology must orphan at least one child"
+        orphan = orphans[0]
+        neighbors = sorted(
+            n
+            for n in network.graph.neighbors(orphan)
+            if network.is_alive(n) and n != victim
+        )
+        assert len(neighbors) >= 2, "orphan needs a fallback candidate"
+        first = neighbors[0]
+        network.radio = self.BlockedLinksRadio([(orphan, first)])
+        result = TreeRepair().repair(network)
+        assert orphan in network.tree.parent
+        assert network.tree.parent[orphan] != first
+        assert orphan in result.parent_changed
+        network.tree.check_invariants()
+
+    @pytest.mark.parametrize("execution", ["batched", "per-edge"])
+    def test_exhausted_candidates_abort_after_installing(self, execution):
+        from repro.exceptions import DeliveryError
+
+        network = fresh_network(9, execution=execution)
+        tree = network.tree
+        victim = 4
+        network.kill_node(victim)
+        orphans = [n for n in tree.children.get(victim, ()) if network.is_alive(n)]
+        orphan = orphans[0]
+        # jam every link that could ever adopt any member of the orphan unit
+        unit = set(tree.subtree_nodes(orphan)) - {victim}
+        blocked = [
+            (member, neighbor)
+            for member in unit
+            for neighbor in network.graph.neighbors(member)
+            if neighbor not in unit
+        ]
+        network.radio = self.BlockedLinksRadio(blocked)
+        with pytest.raises(DeliveryError) as excinfo:
+            TreeRepair().repair(network)
+        result = excinfo.value.repair_result
+        # the repair completed before raising: the unreachable unit is
+        # detached, everything else is repaired and installed
+        assert set(unit) <= set(result.detached)
+        for member in unit:
+            assert member not in network.tree.parent
+        network.tree.check_invariants()
+
+    def test_fallback_is_identical_across_paths(self):
+        snapshots = []
+        for execution in ("batched", "per-edge"):
+            network = fresh_network(9, execution=execution)
+            tree = network.tree
+            network.kill_node(4)
+            orphan = next(
+                n for n in tree.children.get(4, ()) if network.is_alive(n)
+            )
+            first = sorted(
+                n
+                for n in network.graph.neighbors(orphan)
+                if network.is_alive(n)
+            )[0]
+            network.radio = self.BlockedLinksRadio([(orphan, first)])
+            result = TreeRepair().repair(network)
+            snapshots.append(
+                (result, dict(network.tree.parent), network.ledger.snapshot())
+            )
+        (left_result, left_tree, left_ledger) = snapshots[0]
+        (right_result, right_tree, right_ledger) = snapshots[1]
+        assert left_result == right_result
+        assert left_tree == right_tree
+        assert left_ledger.per_node_bits == right_ledger.per_node_bits
+        assert left_ledger.per_protocol_bits == right_ledger.per_protocol_bits

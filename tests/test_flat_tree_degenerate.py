@@ -161,3 +161,131 @@ class TestFailFastValidation:
         network.tree.children[network.root_id].clear()  # corrupt in place
         with pytest.raises(TopologyError):
             _ = network.flat_tree
+
+
+class TestRewire:
+    """The incremental re-span must be indistinguishable from a rebuild."""
+
+    SLOTS = (
+        "root_id",
+        "num_nodes",
+        "height",
+        "node_ids",
+        "index",
+        "parent",
+        "depth",
+        "child_start",
+        "child_end",
+        "child_index",
+        "bottom_up",
+        "level_spans",
+        "up_links",
+        "down_links",
+    )
+
+    def assert_matches_scratch(self, rewired, patched_tree):
+        scratch = FlatTree.from_spanning_tree(patched_tree)
+        for slot in self.SLOTS:
+            assert getattr(rewired, slot) == getattr(scratch, slot), slot
+
+    def patch(self, tree, removed=(), reparented=None):
+        """Apply a patch to a parent map and return the rebuilt SpanningTree."""
+        parent = dict(tree.parent)
+        for node in removed:
+            del parent[node]
+        for node, new_parent in (reparented or {}).items():
+            parent[node] = new_parent
+        return tree_from_parents(tree.root, parent)
+
+    def moved_depths(self, patched, nodes):
+        depths = {}
+        stack = list(nodes)
+        seen = set()
+        while stack:
+            node = stack.pop()
+            if node in seen or node not in patched.parent:
+                continue
+            seen.add(node)
+            depths[node] = patched.depth[node]
+            stack.extend(patched.children[node])
+        return depths
+
+    def test_leaf_removal(self):
+        tree = line_tree(8)
+        patched = self.patch(tree, removed=[7])
+        rewired = FlatTree.from_spanning_tree(tree).rewire(removed={7})
+        self.assert_matches_scratch(rewired, patched)
+
+    def test_subtree_reparent_changes_every_member_depth(self):
+        tree = star_tree(6)
+        # hang node 5 below node 1 instead of the hub
+        patched = self.patch(tree, reparented={5: 1})
+        rewired = FlatTree.from_spanning_tree(tree).rewire(
+            reparented={5: 1}, depths=self.moved_depths(patched, [5])
+        )
+        self.assert_matches_scratch(rewired, patched)
+
+    def test_node_addition(self):
+        tree = line_tree(6)
+        parent = dict(tree.parent)
+        parent[99] = 2
+        patched = tree_from_parents(0, parent)
+        rewired = FlatTree.from_spanning_tree(tree).rewire(
+            reparented={99: 2}, depths={99: patched.depth[99]}
+        )
+        self.assert_matches_scratch(rewired, patched)
+
+    def test_reparent_requires_depth(self):
+        from repro.exceptions import ConfigurationError
+
+        flat = FlatTree.from_spanning_tree(line_tree(5))
+        with pytest.raises(ConfigurationError):
+            flat.rewire(reparented={3: 0})
+
+    def test_root_cannot_move(self):
+        from repro.exceptions import ConfigurationError
+
+        flat = FlatTree.from_spanning_tree(line_tree(5))
+        with pytest.raises(ConfigurationError):
+            flat.rewire(reparented={0: 1}, depths={0: 1})
+
+    def test_removed_and_depths_must_not_overlap(self):
+        from repro.exceptions import ConfigurationError
+
+        flat = FlatTree.from_spanning_tree(line_tree(5))
+        with pytest.raises(ConfigurationError):
+            flat.rewire(removed={3}, reparented={3: 0}, depths={3: 1})
+
+    def test_python_and_numpy_paths_agree(self, monkeypatch):
+        import random
+
+        import repro.network.flat_tree as flat_tree_module
+
+        if flat_tree_module._np is None:
+            pytest.skip("numpy unavailable; only the pure path exists")
+        rng = random.Random(7)
+        from repro.network.topology import build_topology
+
+        graph = build_topology("random_geometric", 60, seed=3)
+        tree = bfs_tree(graph, root=0)
+        flat = FlatTree.from_spanning_tree(tree)
+        # remove two leaves, re-hang one subtree under the root
+        leaves = [n for n in tree.parent if not tree.children[n]]
+        removed = set(rng.sample(leaves, 2))
+        mover = next(
+            n
+            for n in tree.nodes_top_down()
+            if tree.parent[n] not in (None, 0) and n not in removed
+        )
+        patched = self.patch(tree, removed=removed, reparented={mover: 0})
+        depths = self.moved_depths(patched, [mover])
+
+        monkeypatch.setattr(flat_tree_module, "_NUMPY_REWIRE_MIN_NODES", 0)
+        vectorised = flat.rewire(
+            removed=removed, reparented={mover: 0}, depths=depths
+        )
+        monkeypatch.setattr(flat_tree_module, "_np", None)
+        pure = flat.rewire(removed=removed, reparented={mover: 0}, depths=depths)
+        for slot in self.SLOTS:
+            assert getattr(vectorised, slot) == getattr(pure, slot), slot
+        self.assert_matches_scratch(vectorised, patched)

@@ -94,3 +94,49 @@ class TestSpecificShapes:
         assert sum(horizontal_diffs) / len(horizontal_diffs) < sum(random_pairs) / len(
             random_pairs
         )
+
+
+class TestStormUnderChurn:
+    def test_combines_storm_and_churn(self):
+        from repro.workloads.faults import storm_under_churn_script
+
+        script = storm_under_churn_script(
+            list(range(50)),
+            epochs=10,
+            storm_epoch=4,
+            storm_fraction=0.2,
+            rejoin_epoch=8,
+            churn_rate=0.05,
+            seed=3,
+        )
+        from repro.faults.events import NodeCrash, NodeRejoin
+
+        storm_crashes = [
+            event
+            for event in script.events_at(4)
+            if isinstance(event, NodeCrash)
+        ]
+        assert len(storm_crashes) >= 0.2 * 49 - 1
+        assert any(
+            isinstance(event, NodeRejoin) for event in script.events_at(8)
+        )
+        churn_epochs = [
+            epoch
+            for epoch in range(1, 10)
+            if epoch not in (4, 8) and script.events_at(epoch)
+        ]
+        assert churn_epochs, "background churn should hit some epochs"
+        assert all(
+            event.node_id != 0
+            for epoch in range(10)
+            for event in script.events_at(epoch)
+            if hasattr(event, "node_id")
+        )
+
+    def test_deterministic_in_seed(self):
+        from repro.workloads.faults import storm_under_churn_script
+
+        first = storm_under_churn_script(list(range(30)), epochs=6, storm_epoch=2, seed=9)
+        second = storm_under_churn_script(list(range(30)), epochs=6, storm_epoch=2, seed=9)
+        for epoch in range(7):
+            assert first.events_at(epoch) == second.events_at(epoch)
