@@ -36,9 +36,10 @@ from benchmarks.conftest import emit_bench_json, run_once
 from repro.analysis.experiments import (
     run_fault_tolerance_study,
     run_heartbeat_study,
+    run_root_failover_study,
 )
 from repro.analysis.report import format_table
-from repro.faults import FaultEngine, TreeRepair
+from repro.faults import FaultEngine, FaultScript, RootCrash, TreeRepair
 from repro.network.simulator import SensorNetwork
 from repro.network.topology import build_topology
 from repro.workloads.faults import storm_under_churn_script
@@ -186,6 +187,122 @@ def test_savings_across_fault_scenarios(benchmark):
         )
         assert comparison.savings_factor >= SAVINGS_TARGET
         assert comparison.incremental_max_count_error <= comparison.count_error_budget
+
+
+# --------------------------------------------------------------------------- #
+# E13 — root fail-over: charged election + re-rooting vs rebuild-and-recompute
+# --------------------------------------------------------------------------- #
+def test_root_failover_beats_charged_rebuild(benchmark):
+    """Losing the query node is survivable, measured, and cheaper than naive.
+
+    A scripted :class:`~repro.faults.RootCrash` kills the root mid-stream.
+    Both arms pay the identical charged election (candidate convergecast +
+    winner flood + re-rooting flips under ``faults:election``); the
+    fail-over arm then re-roots the winner's fragment along the reversed
+    root path and re-attaches the other fragments as units, while the
+    baseline arm floods a fresh BFS tree and recomputes every summary.
+    Acceptance: the fail-over epoch bill never exceeds the charged
+    rebuild-and-recompute baseline, the per-epoch decomposition
+    ``total == repair + query + detection + election`` holds exactly, and
+    the per-edge and batched election paths are bit-for-bit ledger twins.
+    """
+    started = time.perf_counter()
+
+    def sweep():
+        return [
+            run_root_failover_study(
+                num_nodes=num_nodes,
+                epochs=EPOCHS,
+                crash_epoch=STORM_EPOCH,
+                topology="random_geometric",
+                seed=0,
+            )
+            for num_nodes in SIZES
+        ]
+
+    comparisons = run_once(benchmark, sweep)
+    rows = [
+        [
+            comparison.num_nodes,
+            comparison.new_root,
+            comparison.failover_fault_bits,
+            comparison.rebuild_fault_bits,
+            round(comparison.savings_factor, 2),
+            comparison.failover_election_bits,
+            comparison.failover_max_count_error,
+        ]
+        for comparison in comparisons
+    ]
+    print()
+    print(format_table(
+        [
+            "N",
+            "new root",
+            "failover bits",
+            "rebuild bits",
+            "savings",
+            "election bits",
+            "count err",
+        ],
+        rows,
+        title=(
+            f"E13  root crash at epoch {STORM_EPOCH}: charged election + "
+            f"re-root vs rebuild-and-recompute ({EPOCHS} epochs)"
+        ),
+    ))
+
+    for comparison in comparisons:
+        benchmark.extra_info[f"failover_savings_{comparison.num_nodes}"] = round(
+            comparison.savings_factor, 2
+        )
+        # Election + re-root + stream recovery is one fully accounted epoch.
+        assert comparison.decomposition_holds
+        # Both arms paid the same (non-trivial) election bill.
+        assert comparison.failover_election_bits > 0
+        assert comparison.failover_election_bits == comparison.rebuild_election_bits
+        # Acceptance: fail-over costs no more than the charged naive
+        # response (in practice well below — the margin is the re-sync
+        # traffic the cache migration avoids).
+        assert comparison.failover_fault_bits <= comparison.rebuild_fault_bits
+        # The handover does not cost accuracy in either arm.
+        assert comparison.failover_max_count_error <= comparison.count_error_budget
+        assert comparison.rebuild_max_count_error <= comparison.count_error_budget
+
+    # Per-edge vs batched elections are interchangeable at the headline
+    # size: same winner, same re-rooted tree, bit-for-bit identical ledgers.
+    num_nodes = max(SIZES)
+    graph = build_topology("random_geometric", num_nodes, seed=0)
+    networks = []
+    for mode in ("batched", "per-edge"):
+        network = SensorNetwork.from_items(
+            [0] * num_nodes, topology=graph, seed=0, degree_bound=None,
+            execution=mode,
+        )
+        faults = FaultEngine(network, script=FaultScript().add(0, RootCrash()))
+        report = faults.step(0)
+        assert report.election is not None
+        networks.append(network)
+    assert networks[0].root_id == networks[1].root_id
+    assert networks[0].tree.parent == networks[1].tree.parent
+    left = networks[0].ledger.snapshot()
+    right = networks[1].ledger.snapshot()
+    assert left.per_node_bits == right.per_node_bits
+    assert left.per_protocol_bits == right.per_protocol_bits
+    assert left.rounds == right.rounds
+
+    headline = comparisons[-1]
+    emit_bench_json(
+        "faults",
+        n=headline.num_nodes,
+        wall_clock_s=time.perf_counter() - started,
+        bits=headline.failover_fault_bits,
+        metrics={
+            "root_failover_savings": {
+                "value": round(headline.savings_factor, 2),
+                "floor": 1.0,
+            },
+        },
+    )
 
 
 # --------------------------------------------------------------------------- #

@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Docs drift gate: resolvable links, and a complete ARCHITECTURE map.
+
+Run from anywhere::
+
+    python scripts/check_docs.py
+
+Two checks, both cheap and both fatal on failure:
+
+1. every relative markdown link in ``README.md`` and ``docs/*.md`` points
+   at a file that exists (anchors are stripped; external URLs skipped);
+2. every *public* module under ``src/repro/`` — any ``.py`` whose dotted
+   path has no underscore-prefixed component — is mentioned by dotted name
+   in ``docs/ARCHITECTURE.md``, so the package map cannot silently drift
+   as modules are added.
+
+CI runs this in the ``docs`` job next to smoke-running every example.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def doc_files() -> list[Path]:
+    return [ROOT / "README.md", *sorted((ROOT / "docs").glob("*.md"))]
+
+
+def check_links() -> list[str]:
+    """Every relative markdown link must resolve from its document."""
+    failures: list[str] = []
+    for doc in doc_files():
+        text = doc.read_text(encoding="utf-8")
+        for target in LINK.findall(text):
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            path = target.split("#", 1)[0]
+            if not path:  # pure in-page anchor
+                continue
+            if not (doc.parent / path).resolve().exists():
+                failures.append(
+                    f"{doc.relative_to(ROOT)}: broken link -> {target}"
+                )
+    return failures
+
+
+def public_modules() -> list[str]:
+    """Dotted names of every public module under src/repro.
+
+    A package's ``__init__.py`` maps to the package name itself; any path
+    component starting with an underscore (``_util``, ``__pycache__``)
+    makes the module private and exempt.
+    """
+    modules: set[str] = set()
+    for path in sorted((ROOT / "src" / "repro").rglob("*.py")):
+        parts = path.relative_to(ROOT / "src").with_suffix("").parts
+        if parts[-1] == "__init__":
+            parts = parts[:-1]
+        if any(part.startswith("_") for part in parts):
+            continue
+        modules.add(".".join(parts))
+    return sorted(modules)
+
+
+def check_architecture_mentions() -> list[str]:
+    """docs/ARCHITECTURE.md must name every public module.
+
+    Word-boundary matching: a mention of ``repro.faults.election`` does
+    not count as mentioning the ``repro.faults`` package itself, so parent
+    packages cannot pass vacuously as substrings of their children.
+    """
+    text = (ROOT / "docs" / "ARCHITECTURE.md").read_text(encoding="utf-8")
+    return [
+        f"docs/ARCHITECTURE.md does not mention {module}"
+        for module in public_modules()
+        if not re.search(rf"(?<![\w.]){re.escape(module)}(?![\w.])", text)
+    ]
+
+
+def main() -> int:
+    failures = check_links() + check_architecture_mentions()
+    modules = public_modules()
+    links = sum(
+        len(LINK.findall(doc.read_text(encoding="utf-8")))
+        for doc in doc_files()
+    )
+    if failures:
+        print(f"docs check FAILED ({len(failures)} problem(s)):")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print(
+        f"docs check ok: {links} links across {len(doc_files())} documents "
+        f"resolve, all {len(modules)} public modules mentioned in "
+        "docs/ARCHITECTURE.md"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

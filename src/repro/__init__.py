@@ -44,7 +44,11 @@ outages, heals the spanning tree incrementally (orphaned subtrees re-attach
 through local adoption instead of a full rebuild) and re-synchronises only
 the summaries along repaired paths — see
 :func:`~repro.faults.run_faulty_stream` and ``benchmarks/bench_faults.py``
-for the measured repair-vs-rebuild savings.
+for the measured repair-vs-rebuild savings.  Even the query root may die:
+a :class:`~repro.faults.RootCrash` triggers a charged
+:class:`~repro.faults.RootElection` (highest surviving id over the alive
+component), the tree re-roots at the winner and the caches migrate along
+the reversed root path — ``docs/FAULTS.md`` walks the whole pipeline.
 
 The top-level namespace re-exports the pieces most users need: the network
 simulator with its batched tree primitives, the deterministic and approximate
@@ -76,6 +80,7 @@ from repro.exceptions import (
     TopologyError,
 )
 from repro.faults import (
+    ElectionResult,
     FaultEngine,
     FaultScript,
     FaultTrace,
@@ -86,6 +91,8 @@ from repro.faults import (
     NodeRejoin,
     RegionalOutage,
     RepairResult,
+    RootCrash,
+    RootElection,
     TreeRepair,
     run_faulty_stream,
 )
@@ -123,7 +130,7 @@ from repro.streaming import (
     run_stream,
 )
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "ApproximateMedianProtocol",
@@ -163,6 +170,9 @@ __all__ = [
     "SumProtocol",
     "FaultEngine",
     "HeartbeatDetector",
+    "ElectionResult",
+    "RootCrash",
+    "RootElection",
     "FaultScript",
     "FaultTrace",
     "NodeCrash",

@@ -66,6 +66,7 @@ from repro.workloads.faults import (
     crash_storm_script,
     link_storm_script,
     regional_outage_script,
+    root_failover_script,
 )
 from repro.workloads.generators import generate_workload
 from repro.workloads.streams import DriftStream, make_stream
@@ -1089,3 +1090,166 @@ def run_heartbeat_study(
             )
         )
     return records
+
+
+# --------------------------------------------------------------------------- #
+# E13 — root fail-over: charged election + re-rooting vs rebuild-and-recompute
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class RootFailoverComparison:
+    """Outcome of killing the query root under both repair policies.
+
+    Both arms pay the same charged :class:`~repro.faults.RootElection`
+    (``election_bits`` — candidate convergecast, winner flood, re-rooting
+    flips); they differ in what happens next.  The *failover* arm re-roots
+    the winner's fragment along the reversed root path, re-attaches the
+    other fragments as units and migrates the summary caches, so only
+    repaired paths retransmit.  The *rebuild* arm floods a fresh BFS tree
+    over every alive edge and recomputes every summary from scratch — the
+    charged naive baseline the fail-over must not exceed.
+    ``decomposition_holds`` certifies ``total_bits == repair_bits +
+    query_bits + detection_bits + election_bits`` on every epoch of both
+    arms.
+    """
+
+    num_nodes: int
+    epochs: int
+    crash_epoch: int
+    epsilon: float
+    new_root: int
+    #: Tree-attached population at the end of the crash epoch (the winner's
+    #: fragment plus every re-adopted unit) — the answerable survivors.
+    #: The election's own electorate size lives on ``ElectionResult``.
+    attached_at_crash: int
+    failover_fault_bits: int
+    rebuild_fault_bits: int
+    savings_factor: float
+    failover_election_bits: int
+    rebuild_election_bits: int
+    failover_total_bits: int
+    rebuild_total_bits: int
+    failover_max_count_error: float
+    rebuild_max_count_error: float
+    count_error_budget: float
+    decomposition_holds: bool
+    failover_trace: FaultTrace
+    rebuild_trace: FaultTrace
+
+
+def _decomposition_holds(trace: FaultTrace) -> bool:
+    return all(
+        record.total_bits
+        == record.repair_bits
+        + record.query_bits
+        + record.detection_bits
+        + record.election_bits
+        for record in trace
+    )
+
+
+def run_root_failover_study(
+    num_nodes: int = 400,
+    epochs: int = 8,
+    crash_epoch: int = 2,
+    epsilon: float = 0.1,
+    topology: str = "random_geometric",
+    degree_bound: int | None = None,
+    drift_fraction: float = 0.02,
+    churn_rate: float = 0.0,
+    domain_max: int | None = None,
+    compute_truth: bool = True,
+    seed: int = 0,
+    detector_period: "int | HeartbeatDetector | None" = None,
+) -> RootFailoverComparison:
+    """E13: what losing the query node costs, survived two ways.
+
+    Two identical networks run the same drifting stream with the same
+    standing queries (COUNT and a COUNTP, as in E12); at ``crash_epoch`` a
+    scripted :class:`~repro.faults.RootCrash` kills the query node on both.
+    Each arm pays the identical charged election (highest surviving id over
+    the alive component); the incremental arm then re-roots and re-attaches
+    fragments as units while the ``strategy="rebuild"`` arm floods a fresh
+    BFS tree and recomputes every summary — so the comparison isolates what
+    the fail-over machinery itself saves over the naive charged response.
+    ``churn_rate`` layers background membership churn underneath, and
+    ``detector_period`` charges a heartbeat detector in both arms exactly as
+    in E12.
+    """
+    domain = domain_max if domain_max is not None else 1 << 16
+    traces: dict[str, FaultTrace] = {}
+    roots: dict[str, int] = {}
+    attached: dict[str, int] = {}
+    for strategy in ("incremental", "rebuild"):
+        graph = build_topology(topology, num_nodes, seed=seed)
+        network = SensorNetwork.from_items(
+            [0] * graph.number_of_nodes(),
+            topology=graph,
+            seed=seed,
+            degree_bound=degree_bound,
+        )
+        network.clear_items()
+        engine = ContinuousQueryEngine(network, epsilon=epsilon)
+        engine.register("count", CountQuery())
+        engine.register(
+            "below_mid",
+            PredicateCountQuery(
+                lambda item, mid=domain // 2: item < mid,
+                description=f"x < {domain // 2}",
+            ),
+        )
+        script = root_failover_script(
+            network.node_ids(),
+            crash_epoch=crash_epoch,
+            epochs=epochs,
+            churn_rate=churn_rate,
+            seed=seed,
+        )
+        faults = FaultEngine(
+            network,
+            script=script,
+            repair=TreeRepair(strategy=strategy),
+            seed=seed,
+            detector=detector_from_config(detector_period),
+        )
+        stream = DriftStream(
+            graph.number_of_nodes(),
+            max_value=domain,
+            seed=seed,
+            drift_fraction=drift_fraction,
+        )
+        traces[strategy] = run_faulty_stream(
+            engine, stream, faults, epochs=epochs, compute_truth=compute_truth
+        )
+        roots[strategy] = network.root_id
+        crash_record = traces[strategy][crash_epoch]
+        attached[strategy] = crash_record.attached
+    if roots["incremental"] != roots["rebuild"]:
+        raise ConfigurationError(
+            f"the two arms elected different roots: {roots}"
+        )
+    failover = traces["incremental"]
+    rebuild = traces["rebuild"]
+    return RootFailoverComparison(
+        num_nodes=num_nodes,
+        epochs=epochs,
+        crash_epoch=crash_epoch,
+        epsilon=epsilon,
+        new_root=roots["incremental"],
+        attached_at_crash=attached["incremental"],
+        failover_fault_bits=failover.fault_epoch_bits,
+        rebuild_fault_bits=rebuild.fault_epoch_bits,
+        savings_factor=rebuild.fault_epoch_bits
+        / max(1, failover.fault_epoch_bits),
+        failover_election_bits=failover.total_election_bits,
+        rebuild_election_bits=rebuild.total_election_bits,
+        failover_total_bits=failover.total_bits,
+        rebuild_total_bits=rebuild.total_bits,
+        failover_max_count_error=failover.max_answer_error("count"),
+        rebuild_max_count_error=rebuild.max_answer_error("count"),
+        count_error_budget=epsilon * num_nodes,
+        decomposition_holds=(
+            _decomposition_holds(failover) and _decomposition_holds(rebuild)
+        ),
+        failover_trace=failover,
+        rebuild_trace=rebuild,
+    )

@@ -23,6 +23,12 @@ it at a measured, minimised cost:
   models, real detection latency (crashes stay silent zombies until a sweep
   misses their liveness bit), and a latency-vs-bits trade-off governed by
   the heartbeat period;
+* :mod:`repro.faults.election` — :class:`RootElection`, charged root
+  fail-over: when a :class:`RootCrash` kills the query node, the highest
+  surviving id is elected over the alive component (candidate convergecast
+  + winner flood + re-rooting pointer flips, billed under
+  ``faults:election``), the tree re-roots at the winner and the streaming
+  layer migrates its caches along the reversed root path;
 * :mod:`repro.faults.trace` — :class:`FaultTrace`, the per-epoch record of
   repair bits/messages/energy and answer accuracy under failure;
 * :mod:`repro.faults.runner` — :func:`run_faulty_stream`, which interleaves
@@ -48,6 +54,7 @@ Quick start::
 """
 
 from repro.faults.detection import HEARTBEAT_BITS, HeartbeatDetector
+from repro.faults.election import ElectionResult, RootElection
 from repro.faults.engine import FaultEngine, FaultReport
 from repro.faults.events import (
     FaultEvent,
@@ -57,6 +64,7 @@ from repro.faults.events import (
     NodeCrash,
     NodeRejoin,
     RegionalOutage,
+    RootCrash,
 )
 from repro.faults.repair import REPAIR_STRATEGIES, RepairResult, TreeRepair
 from repro.faults.runner import run_faulty_stream
@@ -65,6 +73,8 @@ from repro.faults.trace import FaultEpochRecord, FaultTrace
 __all__ = [
     "HEARTBEAT_BITS",
     "HeartbeatDetector",
+    "ElectionResult",
+    "RootElection",
     "FaultEngine",
     "FaultReport",
     "FaultEvent",
@@ -74,6 +84,7 @@ __all__ = [
     "LinkDrop",
     "LinkRestore",
     "RegionalOutage",
+    "RootCrash",
     "REPAIR_STRATEGIES",
     "RepairResult",
     "TreeRepair",

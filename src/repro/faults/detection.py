@@ -12,7 +12,9 @@ model:
 
 * every ``period`` epochs each tree node sends a tiny liveness bit to its
   parent — charged through the radio model like every other transmission,
-  under its own protocol label, so lossy links inflate the standing cost;
+  under the ``faults:heartbeat`` ledger key (so lossy links inflate the
+  standing cost, and per-protocol snapshots separate the detection bill
+  from ``faults:repair`` and ``faults:election`` exactly);
 * a node that physically crashed sends nothing: its parent notices the
   missing heartbeat at the next sweep, which is when the crash becomes
   *known* — the alive-mask flips, the readings are already gone, and the
@@ -26,10 +28,14 @@ model:
   evicts it, so the answer error during the window is the measurable price
   of not knowing yet.
 
-Only node crashes need the detector.  Link failures are observable by the
-*sender* for free (the radio layer reports missed acks on the next use), so
-the engine keeps applying them oracle-style; rejoins announce themselves
-through the adoption handshake the repair already charges.
+Only ordinary node crashes need the detector.  Link failures are observable
+by the *sender* for free (the radio layer reports missed acks on the next
+use), so the engine keeps applying them oracle-style; rejoins announce
+themselves through the adoption handshake the repair already charges; and
+the *root's* crash is self-announcing — its children expect the epoch tick
+from it — so a :class:`~repro.faults.RootCrash` is applied immediately and
+the charged response is the :class:`~repro.faults.RootElection`, not a
+heartbeat.
 """
 
 from __future__ import annotations
@@ -86,16 +92,27 @@ class HeartbeatDetector:
         ``silent`` holds the physically-dead-but-undetected nodes: they
         transmit nothing (that silence *is* the detection signal), while
         their still-alive children keep paying heartbeats toward them until
-        the repair re-parents the subtree.  The link sequence is the cached
-        :attr:`~repro.network.FlatTree.up_links` (canonical bottom-up
-        order), charged through
+        the repair re-parents the subtree.  Links touching a *known*-dead
+        endpoint are skipped too: a node whose death is already on the
+        alive-mask when the sweep fires (a :class:`~repro.faults.RootCrash`
+        is applied before the sweep, since the root's silence at the epoch
+        tick is self-announcing) neither sends nor is sent to.  The link
+        sequence is the cached :attr:`~repro.network.FlatTree.up_links`
+        (canonical bottom-up order), charged through
         :meth:`~repro.network.SensorNetwork.send_batch`, so the ledger —
         including lossy-radio retries — is identical under both execution
         modes.  Returns ``(bits, messages)`` charged.
         """
         up_links = network.flat_tree.up_links
-        if silent:
-            links = [link for link in up_links if link[0] not in silent]
+        is_alive = network.is_alive
+        if silent or network.num_alive < network.num_nodes:
+            links = [
+                link
+                for link in up_links
+                if link[0] not in silent
+                and is_alive(link[0])
+                and is_alive(link[1])
+            ]
         else:
             links = up_links
         if not links:

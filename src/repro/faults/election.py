@@ -1,0 +1,326 @@
+"""Charged root fail-over: leader election and tree re-rooting.
+
+Until now the query root was the one node the simulator refused to kill —
+real deployments of Patt-Shamir-style aggregate computation must survive
+the query node too.  Chlebus–Kowalski–Olkowski ("Deterministic
+Fault-Tolerant Distributed Computing in Linear Time and Communication")
+make the case that surviving a crash must be paid for in the same
+communication currency as the computation itself, and the tree-based
+leader elections of the distributed-systems literature (Aspnes's notes,
+Ch. 6) give the standard cost shape: candidate ids converge up surviving
+structure, the winner floods back down.  :class:`RootElection` implements
+that model as a *charged* protocol rather than a free oracle handover.
+
+When the root dies, the old spanning tree decomposes into *surviving
+fragments* — maximal connected pieces of tree edges whose endpoints are
+alive and whose graph edge still exists.  The election runs over the
+*electorate*: the connected component of the alive graph containing the
+highest surviving node id, which wins (deterministic, and every node can
+verify it locally once the flood reaches it).  Three phases, each billed
+message by message through the radio models under the ``faults:election``
+ledger key (:attr:`RootElection.protocol`):
+
+1. **candidate convergecast** — within every electorate fragment each
+   member forwards the best id it has seen to its surviving parent, one
+   :data:`CANDIDATE_BITS` frame per surviving tree edge, in the canonical
+   bottom-up order (deepest level first, ascending id within a level);
+2. **winner flood** — the fragment tops compete by flooding, and the
+   winning announcement crosses every alive graph edge of the electorate
+   in both directions: two :data:`WINNER_BITS` tokens per edge, in
+   ascending ``(min, max)`` edge order;
+3. **re-rooting flips** — the winner claims the root role by reversing
+   the parent pointers along the path from itself to its fragment's old
+   top, one :data:`REROOT_FLIP_BITS` notification per reversed edge
+   (exactly the pointer-flip mechanism the adoption handshake uses).
+
+Like every other protocol in the repository, the election has two
+execution paths selected by ``network.execution`` (or pinned via
+``RootElection(execution=...)``): the per-edge reference charges each
+message through :meth:`~repro.network.SensorNetwork.send`, the batched
+path ships the identical link sequence through
+:meth:`~repro.network.SensorNetwork.send_batch` — bit-for-bit identical
+ledgers, lossy-radio retries included (enforced by the randomized
+election-equivalence suite).
+
+:meth:`RootElection.elect` only *decides and charges*: it re-roots the
+network's identity (:meth:`~repro.network.SensorNetwork.set_root`) and
+returns an :class:`ElectionResult`, leaving the tree untouched.
+Installing the re-rooted tree — and re-attaching the fragments that did
+not contain the winner — is :class:`~repro.faults.TreeRepair`'s job: a
+repair finding a dead root defers to its configured election and then
+runs a repair pass *seeded* with the winner's re-rooted fragment, so the
+other fragments re-attach as units through ordinary charged adoption
+handshakes.  The streaming layer migrates its summary caches along the
+reversed root path (:meth:`~repro.streaming.ContinuousQueryEngine.\
+apply_root_change`) instead of cold-resyncing the field.
+
+Nodes outside the electorate (alive but cut off from the winner) take no
+part and stay detached, exactly like survivors of a partition — they are
+re-adopted by a later repair once connectivity returns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import ConfigurationError
+from repro.network.simulator import SensorNetwork
+
+#: Candidate-id frame forwarded up a surviving fragment during the
+#: convergecast phase (type tag + the best node id seen so far).
+CANDIDATE_BITS = 32
+#: Winner-announcement token flooded over every alive electorate edge.
+WINNER_BITS = 16
+#: Pointer-flip notification along the winner's reversed root path.
+REROOT_FLIP_BITS = 16
+
+
+@dataclass(frozen=True)
+class ElectionResult:
+    """What one charged root election decided, and what it cost.
+
+    ``reversed_path`` lists the winner's old ancestor chain inside its
+    fragment, winner first; ``flips`` holds the resulting ``(node, new
+    parent)`` pointer reversals (one per reversed edge — the winner itself
+    simply drops its parent).  ``winner_fragment`` is the sorted member
+    list of the winner's surviving fragment: the already-spanned seed the
+    follow-up repair grows its adoption cascade from.  ``participants``
+    counts the electorate (alive nodes graph-connected to the winner) and
+    ``fragments`` its surviving-fragment count.  All cost fields cover the
+    election only — the follow-up repair bills separately under its own
+    ledger key.
+    """
+
+    old_root: int
+    new_root: int
+    participants: int
+    fragments: int
+    reversed_path: tuple[int, ...]
+    flips: tuple[tuple[int, int], ...]
+    winner_fragment: tuple[int, ...]
+    election_bits: int
+    election_messages: int
+    rounds: int
+
+
+class RootElection:
+    """Highest-surviving-id election over the alive component, charged."""
+
+    def __init__(
+        self,
+        protocol: str = "faults:election",
+        execution: str | None = None,
+    ) -> None:
+        if execution is not None and execution not in ("batched", "per-edge"):
+            raise ConfigurationError(
+                f"unknown execution mode {execution!r}; known: batched, per-edge"
+            )
+        #: Ledger key every election message is charged under.
+        self.protocol = protocol
+        #: ``None`` (default) follows ``network.execution``; an explicit
+        #: value pins one charging path, exactly like ``TreeRepair``.
+        self.execution = execution
+
+    # ------------------------------------------------------------------ #
+    # Entry point
+    # ------------------------------------------------------------------ #
+    def elect(self, network: SensorNetwork) -> ElectionResult:
+        """Elect the highest surviving id reachable from it; charge the bill.
+
+        Requires the current root to be dead (a live root needs no
+        successor).  On return the network's *identity* is re-rooted —
+        ``network.root_id`` is the winner, the node flags updated via
+        :meth:`~repro.network.SensorNetwork.set_root` — but the spanning
+        tree is untouched: the caller (normally
+        :meth:`~repro.faults.TreeRepair.repair`) installs the re-rooted
+        tree and re-attaches the remaining fragments as one seeded repair
+        pass.  Raises :class:`~repro.exceptions.ConfigurationError` when
+        no node survives to elect, and propagates
+        :class:`~repro.exceptions.DeliveryError` if an election message
+        permanently fails (the delivered prefix stays charged, identically
+        on both execution paths).
+        """
+        old_root = network.root_id
+        if network.is_alive(old_root):
+            raise ConfigurationError(
+                f"root {old_root} is alive; an election needs a dead root"
+            )
+        alive = network.alive_node_ids()
+        if not alive:
+            raise ConfigurationError(
+                "no surviving node to elect; the whole field is dead"
+            )
+        winner = alive[-1]  # ids ascend: the highest surviving id
+
+        # The electorate: alive nodes graph-connected to the winner.  BFS
+        # depth doubles as the winner flood's round count.
+        adjacency = network.graph._adj
+        is_alive = network.is_alive
+        depth_from_winner = {winner: 0}
+        frontier = [winner]
+        flood_rounds = 0
+        while frontier:
+            next_frontier: list[int] = []
+            for node in frontier:
+                for neighbor in adjacency[node]:
+                    if neighbor not in depth_from_winner and is_alive(neighbor):
+                        depth_from_winner[neighbor] = flood_rounds + 1
+                        next_frontier.append(neighbor)
+            if next_frontier:
+                flood_rounds += 1
+            frontier = next_frontier
+        electorate = set(depth_from_winner)
+
+        fragments, frag_id = self._surviving_fragments(network, electorate)
+        tree = network.tree
+        old_parent = tree.parent
+        old_depth = tree.depth
+
+        # Phase 1 — candidate convergecast: one frame per surviving tree
+        # edge, canonical bottom-up order across all fragments at once.
+        links: list[tuple[int, int]] = []
+        sizes: list[int] = []
+        senders = [
+            node
+            for node in electorate
+            if (parent := old_parent.get(node)) is not None
+            and parent in electorate
+            and parent in adjacency[node]
+        ]
+        senders.sort(key=lambda node: (-old_depth[node], node))
+        for node in senders:
+            links.append((node, old_parent[node]))
+            sizes.append(CANDIDATE_BITS)
+        convergecast_rounds = 0
+        for members in fragments:
+            if len(members) > 1:
+                top_depth = min(old_depth.get(member, 0) for member in members)
+                height = max(old_depth.get(member, 0) for member in members)
+                convergecast_rounds = max(convergecast_rounds, height - top_depth)
+
+        # Phase 2 — winner flood: both directions of every alive electorate
+        # edge, ascending (min, max) edge order.
+        for u in sorted(electorate):
+            for v in sorted(adjacency[u]):
+                if u < v and v in electorate:
+                    links.append((u, v))
+                    sizes.append(WINNER_BITS)
+                    links.append((v, u))
+                    sizes.append(WINNER_BITS)
+
+        # Phase 3 — the winner claims the root role: pointer flips up its
+        # old ancestor chain inside its own fragment.
+        reversed_path = [winner]
+        flips: list[tuple[int, int]] = []
+        current = winner
+        while True:
+            parent = old_parent.get(current)
+            if (
+                parent is None
+                or parent not in electorate
+                or frag_id.get(parent) != frag_id[winner]
+            ):
+                break
+            links.append((current, parent))
+            sizes.append(REROOT_FLIP_BITS)
+            flips.append((parent, current))
+            reversed_path.append(parent)
+            current = parent
+
+        before = network.ledger.counters_snapshot()
+        execution = (
+            self.execution if self.execution is not None else network.execution
+        )
+        if links:
+            if execution == "per-edge":
+                for link, size in zip(links, sizes):
+                    network.send(
+                        link[0],
+                        link[1],
+                        ("election", winner),
+                        size,
+                        protocol=self.protocol,
+                        require_edge=False,
+                    )
+            else:
+                network.send_batch(
+                    links, sizes, protocol=self.protocol, require_edge=False
+                )
+        rounds = convergecast_rounds + flood_rounds + len(flips)
+        network.ledger.advance_round(rounds)
+        after = network.ledger.counters_snapshot()
+
+        network.set_root(winner)
+        winner_fragment = sorted(
+            member for member, unit in frag_id.items() if unit == frag_id[winner]
+        )
+        return ElectionResult(
+            old_root=old_root,
+            new_root=winner,
+            participants=len(electorate),
+            fragments=len(fragments),
+            reversed_path=tuple(reversed_path),
+            flips=tuple(flips),
+            winner_fragment=tuple(winner_fragment),
+            election_bits=after.total_bits - before.total_bits,
+            election_messages=after.messages - before.messages,
+            rounds=rounds,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Fragment discovery
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _surviving_fragments(
+        network: SensorNetwork, members: set[int]
+    ) -> tuple[list[list[int]], dict[int, int]]:
+        """Group ``members`` into maximal fragments of surviving tree edges.
+
+        A surviving tree edge has both endpoints in ``members`` and its
+        graph edge intact.  Nodes outside the old tree (alive but detached
+        before the crash) come out as singleton fragments.  Returns
+        ``(fragments, frag_id)`` with deterministic numbering (fragments
+        discovered in ascending smallest-member order).
+        """
+        tree = network.tree
+        parent_of = tree.parent.get
+        children_of = tree.children.get
+        adjacency = network.graph._adj
+        frag_id: dict[int, int] = {}
+        fragments: list[list[int]] = []
+        for start in sorted(members):
+            if start in frag_id:
+                continue
+            unit = len(fragments)
+            frag_id[start] = unit
+            queue = [start]
+            collected: list[int] = []
+            while queue:
+                node = queue.pop()
+                collected.append(node)
+                neighbors = adjacency[node]
+                parent = parent_of(node)
+                if (
+                    parent is not None
+                    and parent in members
+                    and parent not in frag_id
+                    and parent in neighbors
+                ):
+                    frag_id[parent] = unit
+                    queue.append(parent)
+                for child in children_of(node, ()):
+                    if (
+                        child in members
+                        and child not in frag_id
+                        and child in neighbors
+                    ):
+                        frag_id[child] = unit
+                        queue.append(child)
+            fragments.append(collected)
+        return fragments, frag_id
+
+    def __repr__(self) -> str:  # pragma: no cover - debug convenience
+        return (
+            f"RootElection(protocol={self.protocol!r}, "
+            f"execution={self.execution!r})"
+        )

@@ -29,6 +29,7 @@ from repro._util.randomness import make_rng
 from repro._util.validation import require_non_negative, require_probability
 from repro.exceptions import ConfigurationError
 from repro.faults.detection import HeartbeatDetector
+from repro.faults.election import ElectionResult, RootElection
 from repro.faults.events import (
     FaultEvent,
     FaultScript,
@@ -37,6 +38,7 @@ from repro.faults.events import (
     NodeCrash,
     NodeRejoin,
     RegionalOutage,
+    RootCrash,
     expand_regional_outage,
 )
 from repro.faults.repair import RepairResult, TreeRepair
@@ -75,6 +77,16 @@ class FaultReport:
     flapped: tuple[int, ...] = ()
 
     @property
+    def election(self) -> ElectionResult | None:
+        """The root fail-over this epoch performed, if any.
+
+        Rides on the repair result (the election runs as the first step of
+        the repair pass that follows a :class:`~repro.faults.RootCrash`);
+        ``None`` on epochs whose root survived.
+        """
+        return getattr(self.repair, "election", None)
+
+    @property
     def had_faults(self) -> bool:
         return bool(
             self.crashed
@@ -99,10 +111,19 @@ class FaultEngine:
         link_drop_rate: float = 0.0,
         rejoin_value_max: int = 1 << 16,
         detector: HeartbeatDetector | None = None,
+        election: RootElection | None = None,
     ) -> None:
         self.network = network
         self.script = script if script is not None else FaultScript()
         self.repair = repair if repair is not None else TreeRepair()
+        #: How a dead root is replaced: by default a charged
+        #: :class:`~repro.faults.RootElection`, handed to the repair pass
+        #: per call so a scripted :class:`~repro.faults.RootCrash` fails
+        #: over out of the box.  A :class:`TreeRepair` constructed with its
+        #: own ``election`` keeps it (the engine never mutates the policy
+        #: object, which may be shared); a repair *wrapper* without
+        #: election support keeps its own dead-root behaviour.
+        self.election = election if election is not None else RootElection()
         self.crash_rate = require_probability(crash_rate, "crash_rate")
         self.rejoin_rate = require_probability(rejoin_rate, "rejoin_rate")
         self.link_drop_rate = require_probability(link_drop_rate, "link_drop_rate")
@@ -173,10 +194,18 @@ class FaultEngine:
         # A flap (crash and rejoin both inside one detection window) never
         # touches the tree, so it does not force a repair pass on its own.
         revivals = len(rejoined) - len(flaps)
+        # A dead root always forces the repair pass: the election + seeded
+        # re-attachment it triggers is the fail-over (the root's silence is
+        # self-announcing — its children expect the epoch tick from it — so
+        # even a charged detector learns of it immediately and for free;
+        # what is charged is the election response itself).
+        root_dead = not self.network.is_alive(self.network.root_id)
         if detector is None:
             needs_repair = bool(crashed or rejoined or dropped or restored)
         else:
-            needs_repair = bool(detected or revivals or dropped or restored)
+            needs_repair = bool(
+                detected or revivals or dropped or restored or root_dead
+            )
         if detector is not None and needs_repair and self._undetected:
             # A repair pass doubles as a liveness probe: its adoption
             # handshakes and pointer flips cannot complete against dead
@@ -188,7 +217,13 @@ class FaultEngine:
             detected = detected + probed
             latencies = latencies + probe_latencies
         if needs_repair:
-            repair = self.repair.repair(self.network)
+            if (
+                isinstance(self.repair, TreeRepair)
+                and self.repair.election is None
+            ):
+                repair = self.repair.repair(self.network, election=self.election)
+            else:
+                repair = self.repair.repair(self.network)
         else:
             repair = _noop_repair()
         return FaultReport(
@@ -230,20 +265,33 @@ class FaultEngine:
         flaps: list[int],
     ) -> None:
         network = self.network
-        if isinstance(event, NodeCrash):
+        if isinstance(event, RootCrash):
+            # The current root dies, whoever that is.  No detection window:
+            # the root's silence at the epoch tick is observed by its own
+            # children for free (like link failures), and the charged
+            # response — election, re-rooting, re-attachment — runs in this
+            # epoch's repair pass.
+            node_id = network.root_id
+            if not network.is_alive(node_id):
+                return  # a double blow in one epoch changes nothing
+            network.kill_node(node_id, allow_root=True)
+            crashed.append(node_id)
+        elif isinstance(event, NodeCrash):
             node_id = event.node_id
             if not network.is_alive(node_id) or node_id in self._undetected:
                 return
-            if self.detector is None:
+            if node_id == network.root_id:
+                # A crash is a crash: a script written before a fail-over
+                # (or background churn) may hit the node that meanwhile won
+                # an election.  Whoever is root dies root-style — applied
+                # immediately, detection-free, election to follow.
+                network.kill_node(node_id, allow_root=True)
+            elif self.detector is None:
                 network.kill_node(node_id)
             else:
                 # The node dies *now* — readings and scratch state are gone
                 # — but nobody knows until a heartbeat sweep misses it, so
                 # the alive-mask (and the repair) waits for detection.
-                if node_id == network.root_id:
-                    raise ConfigurationError(
-                        "the root cannot crash; it is the query-issuing node"
-                    )
                 node = network.node(node_id)
                 node.clear_items()
                 node.reset_scratch()

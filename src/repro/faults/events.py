@@ -42,6 +42,19 @@ class NodeRejoin(FaultEvent):
 
 
 @dataclass(frozen=True)
+class RootCrash(FaultEvent):
+    """Whoever is the query root *when this fires* crashes.
+
+    The one failure the simulator used to forbid.  The event carries no node
+    id on purpose: after an earlier fail-over the root has moved, and a
+    scripted second blow should hit the current query node, not a stale id.
+    The engine responds with a charged :class:`~repro.faults.RootElection`
+    (highest surviving id wins), re-roots the tree at the winner and
+    re-attaches the remaining fragments — all in the same epoch, all billed.
+    """
+
+
+@dataclass(frozen=True)
 class LinkDrop(FaultEvent):
     """The graph edge between ``u`` and ``v`` fails (until restored)."""
 

@@ -51,6 +51,29 @@ policy for baselines — the repair falls back to rebuilding the BFS tree of
 the alive root-component from scratch, charging the flood (two tokens per
 alive edge, one parent-ack per node) that a distributed BFS construction
 costs.  The fault benchmarks measure exactly this trade.
+
+Even the root may die.  A repair that finds the root dead defers to its
+configured :class:`~repro.faults.RootElection` (raising
+:class:`~repro.exceptions.ConfigurationError` when none is wired up): the
+election charges a leader handover under its own ``faults:election`` ledger
+key and re-roots the network's identity at the highest surviving id, after
+which the repair pass runs *seeded* — the winner's surviving fragment,
+re-rooted along the election's reversed root path, plays the role of the
+attached region, and every other fragment re-attaches through the ordinary
+adoption cascade.  The seeded pass materialises the re-rooted tree through
+:func:`~repro.network.spanning_tree.tree_from_parents` on both execution
+paths (a root change moves every depth, so the O(damage) in-place
+:meth:`~repro.network.FlatTree.rewire` has no edge to offer), and the
+resulting :class:`RepairResult` carries the
+:class:`~repro.faults.ElectionResult` so stream recovery can migrate its
+caches along the reversed path.
+
+**Ledger keys.**  All repair control traffic — adoption request/ack pairs,
+pointer flips, rebuild flood tokens and parent acks — is charged under
+``faults:repair`` (:attr:`TreeRepair.protocol`); a root fail-over's
+election traffic lands under ``faults:election`` and heartbeat sweeps
+under ``faults:heartbeat``, so per-protocol ledger snapshots decompose the
+resilience bill exactly.
 """
 
 from __future__ import annotations
@@ -65,6 +88,7 @@ from typing import Callable
 import networkx as nx
 
 from repro.exceptions import ConfigurationError, DeliveryError
+from repro.faults.election import ElectionResult, RootElection
 from repro.network.radio import ReliableRadio
 from repro.network.simulator import SensorNetwork
 from repro.network.spanning_tree import (
@@ -103,6 +127,12 @@ class RepairResult:
     or cut off); ``detached`` are alive nodes left without a route to the
     root.  On a full rebuild both patch lists are empty and consumers reset
     everything instead.
+
+    ``election`` is set when this repair pass began with a root fail-over:
+    the attached :class:`~repro.faults.ElectionResult` carries the handover
+    (old/new root, reversed root path, election bits); ``control_bits``
+    still counts the repair's own traffic only, so the two cost streams
+    stay separable.
     """
 
     strategy: str
@@ -114,6 +144,7 @@ class RepairResult:
     control_bits: int
     control_messages: int
     rounds: int
+    election: ElectionResult | None = None
 
     @property
     def changed_anything(self) -> bool:
@@ -165,6 +196,7 @@ class TreeRepair:
         rebuild_threshold: float = 1.0,
         protocol: str = "faults:repair",
         execution: str | None = None,
+        election: RootElection | None = None,
     ) -> None:
         if strategy not in REPAIR_STRATEGIES:
             raise ConfigurationError(
@@ -186,11 +218,18 @@ class TreeRepair:
         #: benchmarks use this to race the two repair implementations on
         #: identical batched-core networks.
         self.execution = execution
+        #: How to replace a dead root.  ``None`` means a dead root is an
+        #: error at repair time; :class:`~repro.faults.FaultEngine` installs
+        #: a default :class:`~repro.faults.RootElection` here so scripted
+        #: :class:`~repro.faults.RootCrash` events fail over out of the box.
+        self.election = election
 
     # ------------------------------------------------------------------ #
     # Entry point
     # ------------------------------------------------------------------ #
-    def repair(self, network: SensorNetwork) -> RepairResult:
+    def repair(
+        self, network: SensorNetwork, election: RootElection | None = None
+    ) -> RepairResult:
         """Re-span the alive, root-connected population; return what changed.
 
         Reads the network's graph, spanning tree and alive-mask; installs the
@@ -200,23 +239,39 @@ class TreeRepair:
         the attachable population.  Dispatches on ``network.execution``; the
         two paths are ledger-identical and produce identical trees.
 
+        A dead root defers to ``election`` (falling back to
+        :attr:`election`): the handover is charged and the repair runs
+        seeded with the winner's re-rooted fragment — see the module
+        docstring.  With no election configured a dead root raises
+        :class:`~repro.exceptions.ConfigurationError`.
+
         Raises :class:`~repro.exceptions.DeliveryError` when an orphan unit
         with at least one permanently-failed adoption handshake exhausted
         every candidate attachment point; the partially repaired tree (with
         such units detached) is installed first, and the completed
         :class:`RepairResult` rides on the exception as ``repair_result``.
         """
-        if not network.is_alive(network.root_id):  # pragma: no cover - kill_node forbids it
-            raise ConfigurationError("cannot repair a network whose root is dead")
+        elected: ElectionResult | None = None
+        if not network.is_alive(network.root_id):
+            chooser = election if election is not None else self.election
+            if chooser is None:
+                raise ConfigurationError(
+                    "cannot repair a network whose root is dead without an "
+                    "election; configure TreeRepair(election=RootElection()) "
+                    "or drive repairs through FaultEngine, which wires one up"
+                )
+            elected = chooser.elect(network)
         execution = self.execution if self.execution is not None else network.execution
         if execution == "per-edge":
-            return self._repair_per_edge(network)
-        return self._repair_batched(network)
+            return self._repair_per_edge(network, elected)
+        return self._repair_batched(network, elected)
 
     # ------------------------------------------------------------------ #
     # Per-edge reference path
     # ------------------------------------------------------------------ #
-    def _repair_per_edge(self, network: SensorNetwork) -> RepairResult:
+    def _repair_per_edge(
+        self, network: SensorNetwork, elected: ElectionResult | None = None
+    ) -> RepairResult:
         tree = network.tree
         graph = network.graph
         root = network.root_id
@@ -225,16 +280,22 @@ class TreeRepair:
         has_edge = graph.has_edge
         is_alive = network.is_alive
 
-        # Survivors: BFS from the root over tree edges whose child end is
-        # alive and whose graph edge still exists.
-        attached: set[int] = {root}
-        stack = [root]
-        while stack:
-            node = stack.pop()
-            for child in old_children[node]:
-                if is_alive(child) and has_edge(child, node):
-                    attached.add(child)
-                    stack.append(child)
+        if elected is not None:
+            # Root fail-over: the election already decided the attached
+            # region — the winner's surviving fragment, re-rooted along the
+            # charged reversed root path.  Everything else cascades as usual.
+            attached = set(elected.winner_fragment)
+        else:
+            # Survivors: BFS from the root over tree edges whose child end
+            # is alive and whose graph edge still exists.
+            attached = {root}
+            stack = [root]
+            while stack:
+                node = stack.pop()
+                for child in old_children[node]:
+                    if is_alive(child) and has_edge(child, node):
+                        attached.add(child)
+                        stack.append(child)
 
         unattached = [
             node for node in network.alive_node_ids() if node not in attached
@@ -244,17 +305,25 @@ class TreeRepair:
             return _NOOP
 
         if self.strategy == "rebuild":
-            return self._rebuild(network, old_nodes)
+            return self._rebuild(network, old_nodes, elected)
 
         units, unit_id, unit_parent = self._orphan_units(network, unattached)
         if units and self._should_rebuild(network, units, unattached):
-            return self._rebuild(network, old_nodes)
+            return self._rebuild(network, old_nodes, elected)
 
         before = network.ledger.counters_snapshot()
         cascade = _Cascade(attached=attached)
+        # ``get``: a seeded fragment may contain the winner as a node an
+        # earlier repair left outside the tree (a detached survivor), which
+        # has no old parent to inherit.
         new_parent: dict[int, int | None] = {
-            node: old_parent[node] for node in attached
+            node: old_parent.get(node) for node in attached
         }
+        if elected is not None:
+            new_parent[elected.new_root] = None
+            for node, new_par in elected.flips:
+                new_parent[node] = new_par
+            cascade.parent_changed.extend(node for node, _ in elected.flips)
         frontier = sorted(attached)
         while frontier:
             wave_added: list[int] = []
@@ -307,6 +376,7 @@ class TreeRepair:
             control_bits=after.total_bits - before.total_bits,
             control_messages=after.messages - before.messages,
             rounds=cascade.waves,
+            election=elected,
         )
         self._raise_if_exhausted(cascade, units, result)
         return result
@@ -314,7 +384,11 @@ class TreeRepair:
     # ------------------------------------------------------------------ #
     # Batched path: flat arrays, orphan-side candidates, in-place patch
     # ------------------------------------------------------------------ #
-    def _repair_batched(self, network: SensorNetwork) -> RepairResult:
+    def _repair_batched(
+        self, network: SensorNetwork, elected: ElectionResult | None = None
+    ) -> RepairResult:
+        if elected is not None:
+            return self._repair_batched_seeded(network, elected)
         tree = network.tree
         flat = network.flat_tree
         adjacency = network.graph._adj  # raw dict-of-dicts: the hot sweeps
@@ -419,6 +493,97 @@ class TreeRepair:
             control_bits=after.total_bits - before.total_bits,
             control_messages=after.messages - before.messages,
             rounds=cascade.waves,
+        )
+        self._raise_if_exhausted(cascade, units, result)
+        return result
+
+    def _repair_batched_seeded(
+        self, network: SensorNetwork, elected: ElectionResult
+    ) -> RepairResult:
+        """Root fail-over repair on the batched path.
+
+        The adoption cascade still runs on the orphan-side candidate
+        machinery (sets, adjacency, the per-unit heap), but the attached
+        region is seeded from the election instead of swept out of the flat
+        arrays — the flat view is rooted at the dead root and useless here —
+        and the re-rooted tree is materialised through
+        :func:`~repro.network.spanning_tree.tree_from_parents`: a root
+        change moves every depth, so the O(damage) in-place rewire has
+        nothing to save.  Both execution paths therefore build the fail-over
+        tree identically, and their ledgers stay bit-for-bit equal.
+        """
+        tree = network.tree
+        adjacency = network.graph._adj
+        old_parent = tree.parent
+        old_nodes = set(old_parent)
+        attached = set(elected.winner_fragment)
+        unattached = [
+            node for node in network.alive_node_ids() if node not in attached
+        ]
+
+        if self.strategy == "rebuild":
+            return self._rebuild(network, old_nodes, elected)
+        units, unit_id, unit_parent = self._orphan_units(network, unattached)
+        if units and self._should_rebuild_batched(
+            network, units, unattached, len(attached)
+        ):
+            return self._rebuild(network, old_nodes, elected)
+
+        before = network.ledger.counters_snapshot()
+        cascade = _Cascade(attached=attached)
+        cascade.parent_changed.extend(node for node, _ in elected.flips)
+        if type(network.radio) is ReliableRadio:
+            cascade.deferred_links = []
+            cascade.deferred_sizes = []
+        remaining = set(unattached)
+        self._adoption_cascade_batched(
+            network, adjacency, units, unit_id, unit_parent, cascade, remaining
+        )
+        if cascade.deferred_links:
+            network.send_batch(
+                cascade.deferred_links,
+                cascade.deferred_sizes,
+                protocol=self.protocol,
+                require_edge=False,
+            )
+
+        detached = tuple(
+            node for node in sorted(unit_id) if node not in attached
+        )
+        new_parent: dict[int, int | None] = {
+            node: old_parent.get(node) for node in elected.winner_fragment
+        }
+        new_parent[elected.new_root] = None
+        for node, new_par in elected.flips:
+            new_parent[node] = new_par
+        for member in cascade.attach_log:
+            new_parent[member] = cascade.parent_overrides.get(
+                member, unit_parent[member]
+            )
+        child_losses: list[tuple[int, int]] = []
+        for child, parent in old_parent.items():
+            if parent is None or parent not in attached:
+                continue
+            if new_parent.get(child) != parent:
+                child_losses.append((parent, child))
+        removed = tuple(sorted(old_nodes - attached))
+
+        network.tree = tree_from_parents(
+            network.root_id, {node: new_parent[node] for node in attached}
+        )
+        network.ledger.advance_round(cascade.waves)
+        after = network.ledger.counters_snapshot()
+        result = RepairResult(
+            strategy="incremental",
+            rebuilt=False,
+            parent_changed=tuple(cascade.parent_changed),
+            child_losses=tuple(sorted(child_losses)),
+            removed=removed,
+            detached=detached,
+            control_bits=after.total_bits - before.total_bits,
+            control_messages=after.messages - before.messages,
+            rounds=cascade.waves,
+            election=elected,
         )
         self._raise_if_exhausted(cascade, units, result)
         return result
@@ -901,7 +1066,12 @@ class TreeRepair:
     # ------------------------------------------------------------------ #
     # Rebuild-from-scratch fallback (shared)
     # ------------------------------------------------------------------ #
-    def _rebuild(self, network: SensorNetwork, old_nodes: set[int]) -> RepairResult:
+    def _rebuild(
+        self,
+        network: SensorNetwork,
+        old_nodes: set[int],
+        elected: ElectionResult | None = None,
+    ) -> RepairResult:
         graph = network.graph
         root = network.root_id
         alive = set(network.alive_node_ids())
@@ -943,4 +1113,5 @@ class TreeRepair:
             control_bits=after.total_bits - before.total_bits,
             control_messages=after.messages - before.messages,
             rounds=rounds,
+            election=elected,
         )

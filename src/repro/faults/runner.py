@@ -7,9 +7,14 @@
    :class:`~repro.workloads.ChurnStream` in event mode);
 2. let the :class:`~repro.faults.FaultEngine` apply fault events, run the
    heartbeat sweep of its failure detector (when one is charged) and repair
-   the spanning tree, charging control traffic to the shared ledger;
-3. feed the repair outcome to the query engine's recovery protocol
-   (:meth:`~repro.streaming.ContinuousQueryEngine.apply_repair`), so only
+   the spanning tree — including, after a
+   :class:`~repro.faults.RootCrash`, a charged
+   :class:`~repro.faults.RootElection` and re-rooting at the winner —
+   charging control traffic to the shared ledger;
+3. feed the outcome to the query engine's recovery protocols
+   (:meth:`~repro.streaming.ContinuousQueryEngine.apply_root_change` for a
+   fail-over's reversed root path, then
+   :meth:`~repro.streaming.ContinuousQueryEngine.apply_repair`), so only
    summaries along repaired paths are re-synchronised;
 4. advance the query epoch with the updates that can still reach the root,
    and record everything — repair bits vs. query bits, population counts,
@@ -103,6 +108,12 @@ def run_faulty_stream(
 
         before = network.ledger.counters_snapshot()
         report = faults.step(epoch, extra_events=extra_events)
+        election = report.election
+        if election is not None:
+            # Root fail-over: migrate the caches along the reversed root
+            # path first, then let the ordinary repair recovery handle the
+            # re-attached fragments.
+            engine.apply_root_change(election)
         engine.apply_repair(report.repair)
         mid = network.ledger.counters_snapshot()
 
@@ -127,18 +138,29 @@ def run_faulty_stream(
         record = engine.advance_epoch(reachable_updates)
         after = network.ledger.counters_snapshot()
 
-        # Heartbeats were charged inside faults.step; keep them (bits and
-        # message counts both) out of the repair column so the three cost
-        # streams stay separable.
+        # Heartbeats and election traffic were charged inside faults.step;
+        # keep them (bits and message counts both) out of the repair column
+        # so the four cost streams stay separable:
+        # total == repair + query + detection + election, every epoch.
+        election_bits = election.election_bits if election is not None else 0
+        election_messages = (
+            election.election_messages if election is not None else 0
+        )
         repair_bits = (
-            mid.total_bits - before.total_bits - report.detection_bits
+            mid.total_bits
+            - before.total_bits
+            - report.detection_bits
+            - election_bits
         )
         repair_messages = (
-            mid.messages - before.messages - report.detection_messages
+            mid.messages
+            - before.messages
+            - report.detection_messages
+            - election_messages
         )
         repair_rounds = mid.rounds - before.rounds
         repair_energy_nj = (
-            (repair_bits + report.detection_bits) * per_bit_nj
+            (repair_bits + report.detection_bits + election_bits) * per_bit_nj
             + energy.idle_nj_per_round * repair_rounds * network.num_nodes
         )
         truths: dict[str, float] = {}
@@ -180,6 +202,10 @@ def run_faulty_stream(
                     sum(report.detection_latencies) / len(report.detected)
                     if report.detected
                     else 0.0
+                ),
+                election_bits=election_bits,
+                new_root=(
+                    election.new_root if election is not None else None
                 ),
             )
         )

@@ -4,8 +4,10 @@ A :class:`FaultTrace` is the resilience counterpart of
 :class:`~repro.streaming.StreamingTrace`: one record per epoch splitting the
 traffic into *repair* control bits (adoption handshakes, pointer flips, or
 the rebuild flood), *query* bits (the streaming engine's summary
-re-synchronisation) and *detection* bits (the heartbeat sweeps of a
-:class:`~repro.faults.HeartbeatDetector`, when one is charged), alongside
+re-synchronisation), *detection* bits (the heartbeat sweeps of a
+:class:`~repro.faults.HeartbeatDetector`, when one is charged) and
+*election* bits (a :class:`~repro.faults.RootElection`'s fail-over traffic
+after a root crash), alongside
 the fault events applied, the detection latency actually observed, the
 surviving population, and the answer error against the attached ground
 truth.  The fault benchmarks consume traces to show that incremental repair
@@ -53,6 +55,13 @@ class FaultEpochRecord:
     detected: int = 0
     #: Mean epochs from crash to detection, over this epoch's detections.
     detection_latency: float = 0.0
+    #: Root fail-over traffic charged this epoch (candidate convergecast,
+    #: winner flood and re-rooting flips), separate from the repair bits;
+    #: every record satisfies ``total_bits == repair_bits + query_bits +
+    #: detection_bits + election_bits``.
+    election_bits: int = 0
+    #: The root elected this epoch (``None`` when the root survived).
+    new_root: int | None = None
 
     @property
     def had_faults(self) -> bool:
@@ -62,6 +71,7 @@ class FaultEpochRecord:
             or self.rebuilt
             or self.reparented > 0
             or self.detected > 0
+            or self.new_root is not None
         )
 
 
@@ -103,6 +113,16 @@ class FaultTrace:
     @property
     def total_detected(self) -> int:
         return sum(record.detected for record in self.records)
+
+    @property
+    def total_election_bits(self) -> int:
+        """Root fail-over traffic across the run — what handovers cost."""
+        return sum(record.election_bits for record in self.records)
+
+    @property
+    def election_count(self) -> int:
+        """How many epochs performed a root fail-over."""
+        return sum(1 for record in self.records if record.new_root is not None)
 
     @property
     def mean_detection_latency(self) -> float:

@@ -285,24 +285,49 @@ class SensorNetwork:
         """Whether ``node_id`` is currently alive (crashed nodes are not)."""
         return node_id not in self._dead
 
-    def kill_node(self, node_id: int) -> None:
+    def kill_node(self, node_id: int, allow_root: bool = False) -> None:
         """Crash ``node_id``: it loses its readings and scratch state and can
         neither send nor receive until revived.
 
-        The root cannot crash — it is the node wired to the user entity, so a
-        network without it has no observer to answer queries for.  Killing an
-        already-dead node is a no-op.  The spanning tree is *not* patched
-        here; that is :class:`~repro.faults.TreeRepair`'s job, so repair cost
-        is charged explicitly rather than hidden in a setter.
+        Killing the root requires ``allow_root=True`` — it is the node wired
+        to the user entity, so its death leaves the network without an
+        observer until a :class:`~repro.faults.RootElection` promotes a
+        successor; the guard keeps accidental direct kills loud while the
+        fault engine's :class:`~repro.faults.RootCrash` event opts in
+        explicitly.  Killing an already-dead node is a no-op.  The spanning
+        tree is *not* patched here; that is
+        :class:`~repro.faults.TreeRepair`'s job, so repair cost is charged
+        explicitly rather than hidden in a setter.
         """
-        if node_id == self.root_id:
+        if node_id == self.root_id and not allow_root:
             raise ConfigurationError(
-                "the root cannot crash; it is the query-issuing node"
+                "the root cannot crash outside a scripted RootCrash; pass "
+                "allow_root=True (or schedule repro.faults.RootCrash) to "
+                "model root fail-over"
             )
         node = self.node(node_id)
         self._dead.add(node_id)
         node.clear_items()
         node.reset_scratch()
+
+    def set_root(self, node_id: int) -> None:
+        """Re-root the network's *identity* at ``node_id`` (must be alive).
+
+        Updates :attr:`root_id` and the per-node ``is_root`` flags only —
+        the spanning tree is left untouched, because re-rooting the tree is
+        a charged operation (:class:`~repro.faults.RootElection` decides and
+        bills it, :class:`~repro.faults.TreeRepair` installs the re-rooted
+        tree).  Callers flipping the root outside that pipeline must install
+        a tree rooted at ``node_id`` themselves before running protocols.
+        """
+        if node_id in self._dead:
+            raise ConfigurationError(
+                f"cannot root the network at dead node {node_id}"
+            )
+        node = self.node(node_id)
+        self._nodes[self.root_id].is_root = False
+        node.is_root = True
+        self.root_id = node_id
 
     def revive_node(self, node_id: int) -> None:
         """Bring a crashed node back (with no items; rejoin supplies fresh ones)."""

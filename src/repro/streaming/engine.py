@@ -127,6 +127,58 @@ class ContinuousQueryEngine:
     # ------------------------------------------------------------------ #
     # Fault recovery
     # ------------------------------------------------------------------ #
+    def apply_root_change(self, election) -> None:
+        """Migrate the summary caches after a root fail-over.
+
+        ``election`` is an :class:`~repro.faults.ElectionResult` (duck-typed,
+        like :meth:`apply_repair`'s argument) describing a charged handover:
+        the old root died, the highest surviving id won, and the tree was
+        re-rooted by reversing the parent pointers along
+        ``election.reversed_path``.  Instead of cold-resyncing the field,
+        the caches *migrate* along that reversed path only:
+
+        * the old root's per-query state is dropped (its caches died with
+          it);
+        * every node on the path evicts the cached summary of its former
+          child that is now its parent (a subtree summary must never count
+          its new ancestors), forgets what it last transmitted (its new
+          parent caches nothing for it) and is marked dirty — its next
+          transmission is one full subtree summary, after which deltas
+          resume;
+        * every node *off* the path keeps its caches and stays silent: its
+          subtree, and therefore everything it ever transmitted, is
+          unchanged by the handover.
+
+        Fragments that were not the winner's re-attach through the ordinary
+        repair recovery (:meth:`apply_repair`, called with the seeded
+        repair's result right after this).  Idempotent and safe to call
+        before or after :meth:`apply_repair` for the same epoch.
+        """
+        if election is None:
+            return
+        new_root = election.new_root
+        path = tuple(election.reversed_path)
+        dirty: set[int] = set()
+        for state in self._queries.values():
+            nodes = state.nodes
+            nodes.pop(election.old_root, None)
+            previous: int | None = None
+            for member in path:
+                node_state = nodes.get(member)
+                if node_state is None:
+                    node_state = nodes[member] = _NodeQueryState()
+                if previous is not None:
+                    node_state.children.pop(previous, None)
+                node_state.transmitted = None
+                dirty.add(member)
+                previous = member
+            if new_root not in nodes:
+                nodes[new_root] = _NodeQueryState()
+        # The winner must re-read its subtree even if nothing else changed,
+        # so the standing answers move to the new root this epoch.
+        dirty.add(new_root)
+        self._pending_dirty |= dirty
+
     def apply_repair(self, result) -> None:
         """Re-synchronise the summary caches after a spanning-tree repair.
 

@@ -28,6 +28,7 @@ from repro.workloads.faults import (
     crash_storm_script,
     link_storm_script,
     regional_outage_script,
+    root_failover_script,
     storm_under_churn_script,
 )
 from repro.workloads.streams import (
@@ -64,4 +65,5 @@ __all__ = [
     "churn_script",
     "link_storm_script",
     "storm_under_churn_script",
+    "root_failover_script",
 ]

@@ -13,10 +13,14 @@ the failure-side counterpart of the value streams in
 * :func:`churn_script` — background membership churn: every epoch each
   node independently toggles offline/online, the event-stream analogue of
   :class:`~repro.workloads.ChurnStream`;
+* :func:`root_failover_script` — the query node itself dies (the E13
+  fail-over scenario), optionally riding on background churn;
 * :func:`link_storm_script` — a fraction of links (not nodes) fail,
   optionally recovering later.
 
-All builders pin the root online and are deterministic in their ``seed``.
+All builders are deterministic in their ``seed`` and pin the root online —
+except the scripted :class:`~repro.faults.RootCrash` of
+:func:`root_failover_script`, which exists to kill it.
 """
 
 from __future__ import annotations
@@ -39,6 +43,7 @@ from repro.faults.events import (
     NodeCrash,
     NodeRejoin,
     RegionalOutage,
+    RootCrash,
     expand_regional_outage,
 )
 
@@ -217,6 +222,47 @@ def storm_under_churn_script(
         root=root,
     )
     return storm.merge(churn)
+
+
+def root_failover_script(
+    node_ids: Sequence[int],
+    crash_epoch: int,
+    epochs: int | None = None,
+    churn_rate: float = 0.0,
+    seed: int | None = 0,
+    rejoin_value_max: int = 1 << 16,
+    root: int = 0,
+) -> FaultScript:
+    """The query node dies at ``crash_epoch`` — the E13 fail-over scenario.
+
+    Schedules a single :class:`~repro.faults.RootCrash` (the event targets
+    whoever is root when it fires, so it composes with earlier fail-overs).
+    With ``churn_rate`` positive, background membership churn from
+    :func:`churn_script` rides underneath for ``epochs`` epochs, so the
+    handover is exercised on a field that is already flapping; the original
+    ``root`` is pinned online by the churn half as usual — only the scripted
+    root crash may kill a query node.
+    """
+    require_non_negative(crash_epoch, "crash_epoch")
+    script = FaultScript()
+    script.add(crash_epoch, RootCrash())
+    if churn_rate > 0.0:
+        if epochs is None:
+            raise ConfigurationError(
+                "root_failover_script needs epochs when churn_rate is set"
+            )
+        script = script.merge(
+            churn_script(
+                node_ids,
+                epochs=max(1, epochs - 1),
+                churn_rate=churn_rate,
+                start_epoch=1,
+                seed=seed,
+                rejoin_value_max=rejoin_value_max,
+                root=root,
+            )
+        )
+    return script
 
 
 def link_storm_script(

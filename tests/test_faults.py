@@ -2,7 +2,10 @@
 
 import pytest
 
-from repro.analysis.experiments import run_fault_tolerance_study
+from repro.analysis.experiments import (
+    run_fault_tolerance_study,
+    run_root_failover_study,
+)
 from repro.exceptions import ConfigurationError, DeadNodeError
 from repro.faults import (
     FaultEngine,
@@ -540,6 +543,18 @@ class TestFaultToleranceStudy:
     def test_unknown_scenario_rejected(self):
         with pytest.raises(ConfigurationError):
             run_fault_tolerance_study(num_nodes=25, scenario="meteor")
+
+    def test_root_failover_study_smoke(self):
+        """E13 at toy size: accounted handover, never worse than rebuilding."""
+        comparison = run_root_failover_study(
+            num_nodes=64, epochs=5, crash_epoch=2, topology="grid", seed=0
+        )
+        assert comparison.new_root == 63
+        assert comparison.decomposition_holds
+        assert comparison.failover_election_bits > 0
+        assert comparison.failover_election_bits == comparison.rebuild_election_bits
+        assert comparison.failover_fault_bits <= comparison.rebuild_fault_bits
+        assert comparison.failover_max_count_error <= comparison.count_error_budget
 
 
 class TestAdoptionFallback:
