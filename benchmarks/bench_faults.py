@@ -32,7 +32,12 @@ import os
 import statistics
 import time
 
-from benchmarks.conftest import emit_bench_json, run_once
+from benchmarks.conftest import (
+    emit_bench_json,
+    emit_telemetry_jsonl,
+    phases_from_tracer,
+    run_once,
+)
 from repro.analysis.experiments import (
     run_fault_tolerance_study,
     run_heartbeat_study,
@@ -42,6 +47,7 @@ from repro.analysis.report import format_table
 from repro.faults import FaultEngine, FaultScript, RootCrash, TreeRepair
 from repro.network.simulator import SensorNetwork
 from repro.network.topology import build_topology
+from repro.telemetry import SpanTracer
 from repro.workloads.faults import storm_under_churn_script
 
 _ENV_SIZES = os.environ.get("REPRO_FAULT_SIZES")
@@ -60,6 +66,10 @@ SPEEDUP_TARGET = 5.0
 
 def test_incremental_repair_beats_rebuild(benchmark):
     started = time.perf_counter()
+    # One tracer across the sweep: the incremental arm of every size runs
+    # instrumented, so the bench JSON gains the per-phase wall-clock and
+    # bit breakdown and CI archives the full span trace.
+    tracer = SpanTracer()
 
     def sweep():
         return [
@@ -72,6 +82,7 @@ def test_incremental_repair_beats_rebuild(benchmark):
                 rejoin_epoch=REJOIN_EPOCH,
                 topology="random_geometric",
                 seed=0,
+                telemetry=tracer,
             )
             for num_nodes in SIZES
         ]
@@ -143,7 +154,9 @@ def test_incremental_repair_beats_rebuild(benchmark):
                 "floor": SAVINGS_TARGET,
             },
         },
+        phases=phases_from_tracer(tracer),
     )
+    emit_telemetry_jsonl("faults", tracer)
 
 
 def test_savings_across_fault_scenarios(benchmark):

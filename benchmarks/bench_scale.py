@@ -23,9 +23,15 @@ from __future__ import annotations
 
 import os
 
-from benchmarks.conftest import emit_bench_json, run_once
+from benchmarks.conftest import (
+    emit_bench_json,
+    emit_telemetry_jsonl,
+    phases_from_tracer,
+    run_once,
+)
 from repro.analysis.experiments import run_scaling_study
 from repro.analysis.report import format_table
+from repro.telemetry import SpanTracer
 
 _ENV_SIZES = os.environ.get("REPRO_SCALE_SIZES")
 FULL_SIZES = (1_000, 10_000, 100_000)
@@ -39,6 +45,9 @@ SPEEDUP_AT = 10_000
 
 
 def test_batched_backend_scales(benchmark):
+    # The one-shot protocols emit no phase spans, but the tracer still
+    # collects the per-size timing histograms and net.* counters.
+    tracer = SpanTracer()
     records = run_once(
         benchmark,
         run_scaling_study,
@@ -46,6 +55,7 @@ def test_batched_backend_scales(benchmark):
         per_edge_limit=PER_EDGE_LIMIT,
         repeats=3,
         seed=0,
+        telemetry=tracer,
     )
 
     rows = [
@@ -117,4 +127,7 @@ def test_batched_backend_scales(benchmark):
         wall_clock_s=largest.batched_seconds,
         bits=largest.total_bits,
         metrics=metrics,
+        phases=phases_from_tracer(tracer) or None,
     )
+    if tracer.spans:
+        emit_telemetry_jsonl("scale", tracer)

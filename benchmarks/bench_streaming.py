@@ -20,9 +20,15 @@ from __future__ import annotations
 
 import time
 
-from benchmarks.conftest import emit_bench_json, run_once
+from benchmarks.conftest import (
+    emit_bench_json,
+    emit_telemetry_jsonl,
+    phases_from_tracer,
+    run_once,
+)
 from repro.analysis.experiments import run_streaming_comparison
 from repro.analysis.report import format_table
+from repro.telemetry import SpanTracer
 
 NUM_NODES = 100
 EPOCHS = 60
@@ -31,6 +37,9 @@ EPSILON = 0.1
 
 def test_streaming_incremental_vs_recompute(benchmark):
     started = time.perf_counter()
+    # Instrument the incremental arm: the bench JSON gains the per-phase
+    # wall-clock/bit breakdown and CI archives the span trace.
+    tracer = SpanTracer()
     comparison = run_once(
         benchmark,
         run_streaming_comparison,
@@ -39,6 +48,7 @@ def test_streaming_incremental_vs_recompute(benchmark):
         workload="drift",
         epsilon=EPSILON,
         seed=0,
+        telemetry=tracer,
     )
 
     incremental = comparison.incremental_trace
@@ -94,7 +104,9 @@ def test_streaming_incremental_vs_recompute(benchmark):
                 "floor": 5.0,
             },
         },
+        phases=phases_from_tracer(tracer),
     )
+    emit_telemetry_jsonl("streaming", tracer)
 
 
 def test_streaming_savings_across_dynamics(benchmark):

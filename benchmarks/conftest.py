@@ -34,6 +34,7 @@ def emit_bench_json(
     wall_clock_s: float,
     bits: int,
     metrics: dict[str, dict[str, float]] | None = None,
+    phases: dict[str, dict[str, float]] | None = None,
 ) -> str:
     """Write (or merge into) ``BENCH_<name>.json`` for the CI perf gate.
 
@@ -43,6 +44,12 @@ def emit_bench_json(
     matrix uploads these files as artifacts and the ``bench-report`` step
     (``benchmarks/report.py``) fails the build when any metric regresses
     below its floor, so the performance trajectory is tracked run over run.
+
+    ``phases`` optionally attaches the telemetry phase breakdown — per
+    pipeline phase, its wall-clock and communication bits (the shape
+    :func:`phases_from_tracer` produces from a
+    :class:`repro.telemetry.SpanTracer`) — which ``benchmarks/report.py``
+    schema-checks and renders alongside the metric floors.
 
     Multiple tests in one benchmark file share a file: metrics accumulate
     across the calls of the *current* pytest session (never from a stale
@@ -57,12 +64,48 @@ def emit_bench_json(
     report["wall_clock_s"] = round(wall_clock_s, 4)
     report["bits"] = bits
     report["metrics"].update(metrics or {})
+    if phases:
+        report.setdefault("phases", {}).update(phases)
     out_dir = os.environ.get("REPRO_BENCH_JSON_DIR", ".")
     os.makedirs(out_dir, exist_ok=True)
     path = os.path.join(out_dir, f"BENCH_{name}.json")
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(report, handle, indent=2, sort_keys=True)
         handle.write("\n")
+    return path
+
+
+def phases_from_tracer(tracer) -> dict[str, dict[str, float]]:
+    """The ``phases`` section of a bench report, from a tracer's spans.
+
+    One entry per span name: how often the phase ran, its summed wall-clock
+    and its *exclusive* communication bits (so the per-phase bits add up to
+    the run total instead of double-counting nested spans; the inclusive
+    figure rides along as ``bits_inclusive``).
+    """
+    return {
+        name: {
+            "count": int(row["count"]),
+            "wall_s": round(row["wall_s"], 4),
+            "bits": int(row["exclusive_bits"]),
+            "bits_inclusive": int(row["bits"]),
+            "max_node_bits": int(row["max_node_bits"]),
+        }
+        for name, row in tracer.phase_summary().items()
+    }
+
+
+def emit_telemetry_jsonl(name: str, tracer) -> str:
+    """Write ``TELEMETRY_<name>.jsonl`` next to the bench JSON artifacts.
+
+    The full span + metrics trace of an instrumented benchmark run, in the
+    JSONL format ``scripts/telemetry_report.py`` renders; CI uploads these
+    alongside the ``BENCH_*.json`` files and smoke-renders one.
+    """
+    out_dir = os.environ.get("REPRO_BENCH_JSON_DIR", ".")
+    os.makedirs(out_dir, exist_ok=True)
+    path = os.path.join(out_dir, f"TELEMETRY_{name}.jsonl")
+    tracer.write_jsonl(path)
     return path
 
 

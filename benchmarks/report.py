@@ -13,7 +13,9 @@ Usage::
     python benchmarks/report.py [directory ...]
 
 Directories are searched recursively for ``BENCH_*.json``; the default is
-the current directory.
+the current directory.  Each report is schema-checked first (headline
+fields, metric shape, and the optional telemetry ``phases`` breakdown);
+a malformed report fails the run before any floor is compared.
 """
 
 from __future__ import annotations
@@ -37,11 +39,78 @@ def collect(paths: list[str]) -> list[dict]:
     return reports
 
 
+def validate_schema(report: dict) -> list[str]:
+    """Schema-check one bench report; returns the list of problems.
+
+    Required: ``name`` (str), ``n`` (int), ``wall_clock_s`` / ``bits``
+    (numbers), ``metrics`` (dict of ``{"value": num, "floor": num|None}``).
+    Optional: ``phases`` — the telemetry breakdown, one
+    ``{"wall_s": num, "bits": num, ...}`` entry per pipeline phase.
+    """
+    problems = []
+    where = report.get("_path", "?")
+    if not isinstance(report.get("name"), str):
+        problems.append(f"{where}: missing/invalid 'name'")
+    if not isinstance(report.get("n"), int):
+        problems.append(f"{where}: missing/invalid 'n'")
+    for field in ("wall_clock_s", "bits"):
+        if not isinstance(report.get(field), (int, float)):
+            problems.append(f"{where}: missing/invalid '{field}'")
+    metrics = report.get("metrics")
+    if not isinstance(metrics, dict):
+        problems.append(f"{where}: missing/invalid 'metrics'")
+        metrics = {}
+    for name, entry in metrics.items():
+        if not isinstance(entry, dict) or not isinstance(
+            entry.get("value"), (int, float)
+        ):
+            problems.append(f"{where}: metric {name!r} lacks a numeric 'value'")
+        elif entry.get("floor") is not None and not isinstance(
+            entry["floor"], (int, float)
+        ):
+            problems.append(f"{where}: metric {name!r} has a non-numeric 'floor'")
+    phases = report.get("phases")
+    if phases is not None:
+        if not isinstance(phases, dict) or not phases:
+            problems.append(f"{where}: 'phases' must be a non-empty object")
+        else:
+            for phase, entry in phases.items():
+                if not isinstance(entry, dict):
+                    problems.append(f"{where}: phase {phase!r} is not an object")
+                    continue
+                for field in ("wall_s", "bits"):
+                    if not isinstance(entry.get(field), (int, float)):
+                        problems.append(
+                            f"{where}: phase {phase!r} lacks a numeric {field!r}"
+                        )
+    return problems
+
+
+def render_phases(phases: dict) -> str:
+    """One-line phase breakdown, heaviest phase first."""
+    ordered = sorted(
+        phases.items(), key=lambda item: -item[1].get("bits", 0)
+    )
+    return ", ".join(
+        f"{name}={entry.get('bits', 0)}b/{entry.get('wall_s', 0.0)}s"
+        for name, entry in ordered
+    )
+
+
 def main(argv: list[str]) -> int:
     roots = argv or ["."]
     reports = collect(roots)
     if not reports:
         print(f"no BENCH_*.json found under {roots}", file=sys.stderr)
+        return 2
+
+    schema_problems = []
+    for report in reports:
+        schema_problems.extend(validate_schema(report))
+    if schema_problems:
+        print("malformed bench report(s):", file=sys.stderr)
+        for problem in schema_problems:
+            print(f"  - {problem}", file=sys.stderr)
         return 2
 
     failures = []
@@ -65,6 +134,9 @@ def main(argv: list[str]) -> int:
             f"{report.get('wall_clock_s', 0.0):>9} {report.get('bits', 0):>14}  "
             + ("; ".join(rendered) if rendered else "-")
         )
+        phases = report.get("phases")
+        if phases:
+            print(f"{'':>12} phases: {render_phases(phases)}")
 
     if failures:
         print("\nperformance regression detected:", file=sys.stderr)

@@ -50,6 +50,15 @@ a :class:`~repro.faults.RootCrash` triggers a charged
 component), the tree re-roots at the winner and the caches migrate along
 the reversed root path — ``docs/FAULTS.md`` walks the whole pipeline.
 
+Every phase of that pipeline is observable: install a
+:class:`~repro.telemetry.SpanTracer` (``network.telemetry = SpanTracer()``
+or ``run_faulty_stream(..., telemetry=SpanTracer())``) and each epoch emits
+nested, timed spans carrying their exact ledger deltas, alongside a
+:class:`~repro.telemetry.MetricsRegistry` of counters/gauges/histograms
+with Prometheus-text and markdown exporters — ``docs/TELEMETRY.md`` has the
+span taxonomy and the metric catalogue.  When no tracer is installed the
+instrumentation is free: the default recorder is a shared no-op.
+
 The top-level namespace re-exports the pieces most users need: the network
 simulator with its batched tree primitives, the deterministic and approximate
 median protocols, the primitive aggregation protocols, the continuous-query
@@ -129,8 +138,16 @@ from repro.streaming import (
     StreamingTrace,
     run_stream,
 )
+from repro.telemetry import (
+    NULL_RECORDER,
+    MetricsRegistry,
+    NullRecorder,
+    Span,
+    SpanTracer,
+    TelemetryRecorder,
+)
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "ApproximateMedianProtocol",
@@ -193,5 +210,11 @@ __all__ = [
     "DistinctCountQuery",
     "EpochRecord",
     "StreamingTrace",
+    "MetricsRegistry",
+    "NULL_RECORDER",
+    "NullRecorder",
+    "Span",
+    "SpanTracer",
+    "TelemetryRecorder",
     "__version__",
 ]

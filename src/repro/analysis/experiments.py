@@ -593,6 +593,7 @@ def run_streaming_comparison(
     compression: int = 256,
     num_registers: int = 64,
     seed: int = 0,
+    telemetry=None,
     **stream_params,
 ) -> StreamingComparison:
     """Drive the incremental and naive engines through one identical stream.
@@ -602,6 +603,11 @@ def run_streaming_comparison(
     readings; two same-seed stream instances guarantee identical inputs.  Per
     epoch the incremental answers are checked against the ground truth, so
     the returned maxima certify the ε-approximation empirically.
+
+    ``telemetry`` installs a :class:`~repro.telemetry.TelemetryRecorder` on
+    the *incremental* network, so its epochs emit ``stream`` /
+    ``convergecast`` spans and the network counters (the naive arm stays
+    uninstrumented — it is the baseline, not the subject).
     """
     domain = domain_max if domain_max is not None else 1 << 16
     builds = []
@@ -612,6 +618,8 @@ def run_streaming_comparison(
         network.clear_items()
         builds.append(network)
     incremental_net, recompute_net = builds
+    if telemetry is not None:
+        incremental_net.telemetry = telemetry
     incremental = ContinuousQueryEngine(incremental_net, epsilon=epsilon)
     naive = RecomputeEngine(recompute_net)
     for name, query in _standing_queries(domain, compression, num_registers, seed).items():
@@ -706,6 +714,7 @@ def run_scaling_study(
     per_edge_limit: int = 20_000,
     repeats: int = 1,
     seed: int = 0,
+    telemetry=None,
 ) -> list[ScalingRecord]:
     """E11: time the batched and per-edge execution paths as N grows.
 
@@ -736,6 +745,10 @@ def run_scaling_study(
         network = SensorNetwork.from_items(
             items, topology=graph, seed=seed, degree_bound=degree_bound
         )
+        if telemetry is not None:
+            # Both execution modes run with the same hooks live, so the
+            # relative comparison is unaffected by the instrumentation.
+            network.telemetry = telemetry
 
         def timed(mode: str) -> tuple[float, object]:
             network.execution = mode
@@ -773,6 +786,13 @@ def run_scaling_study(
                 messages=batched_snapshot.messages,
             )
         )
+        if telemetry is not None:
+            nodes = str(network.num_nodes)
+            telemetry.observe("scaling.batched_s", batched_seconds, nodes=nodes)
+            if per_edge_seconds is not None:
+                telemetry.observe(
+                    "scaling.per_edge_s", per_edge_seconds, nodes=nodes
+                )
     return records
 
 
@@ -917,6 +937,7 @@ def run_fault_tolerance_study(
     compute_truth: bool = True,
     seed: int = 0,
     detector_period: "int | HeartbeatDetector | None" = None,
+    telemetry=None,
 ) -> FaultToleranceComparison:
     """E12: measure what surviving faults costs under the two repair policies.
 
@@ -981,7 +1002,14 @@ def run_fault_tolerance_study(
             drift_fraction=drift_fraction,
         )
         traces[strategy] = run_faulty_stream(
-            engine, stream, faults, epochs=epochs, compute_truth=compute_truth
+            engine,
+            stream,
+            faults,
+            epochs=epochs,
+            compute_truth=compute_truth,
+            # The incremental arm is the subject of the study; the rebuild
+            # arm is its baseline and stays uninstrumented.
+            telemetry=telemetry if strategy == "incremental" else None,
         )
     incremental = traces["incremental"]
     rebuild = traces["rebuild"]
@@ -1044,6 +1072,7 @@ def run_heartbeat_study(
     topology: str = "random_geometric",
     seed: int = 0,
     include_oracle: bool = True,
+    telemetry=None,
 ) -> list[HeartbeatTradeoffRecord]:
     """E12c: charge failure detection and sweep its period.
 
@@ -1071,6 +1100,7 @@ def run_heartbeat_study(
             topology=topology,
             seed=seed,
             detector_period=period,
+            telemetry=telemetry,
         )
         detector = detector_from_config(period)
         records.append(
@@ -1160,6 +1190,7 @@ def run_root_failover_study(
     compute_truth: bool = True,
     seed: int = 0,
     detector_period: "int | HeartbeatDetector | None" = None,
+    telemetry=None,
 ) -> RootFailoverComparison:
     """E13: what losing the query node costs, survived two ways.
 
@@ -1218,7 +1249,12 @@ def run_root_failover_study(
             drift_fraction=drift_fraction,
         )
         traces[strategy] = run_faulty_stream(
-            engine, stream, faults, epochs=epochs, compute_truth=compute_truth
+            engine,
+            stream,
+            faults,
+            epochs=epochs,
+            compute_truth=compute_truth,
+            telemetry=telemetry if strategy == "incremental" else None,
         )
         roots[strategy] = network.root_id
         crash_record = traces[strategy][crash_epoch]

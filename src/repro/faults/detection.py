@@ -103,6 +103,17 @@ class HeartbeatDetector:
         including lossy-radio retries — is identical under both execution
         modes.  Returns ``(bits, messages)`` charged.
         """
+        telemetry = network.telemetry
+        with telemetry.span("detect", period=self.period) as span:
+            bits, messages = self._charge_sweep(network, silent)
+            if telemetry.enabled:
+                span.annotate(silent=len(silent))
+                telemetry.count("detect.sweeps", 1)
+        return bits, messages
+
+    def _charge_sweep(
+        self, network: SensorNetwork, silent: set[int]
+    ) -> tuple[int, int]:
         up_links = network.flat_tree.up_links
         is_alive = network.is_alive
         if silent or network.num_alive < network.num_nodes:

@@ -140,6 +140,20 @@ class RootElection:
         permanently fails (the delivered prefix stays charged, identically
         on both execution paths).
         """
+        telemetry = network.telemetry
+        with telemetry.span("election") as span:
+            result = self._elect_impl(network)
+            if telemetry.enabled:
+                span.annotate(
+                    old_root=result.old_root,
+                    new_root=result.new_root,
+                    participants=result.participants,
+                    fragments=result.fragments,
+                )
+                telemetry.count("election.runs", 1)
+        return result
+
+    def _elect_impl(self, network: SensorNetwork) -> ElectionResult:
         old_root = network.root_id
         if network.is_alive(old_root):
             raise ConfigurationError(

@@ -251,6 +251,23 @@ class TreeRepair:
         such units detached) is installed first, and the completed
         :class:`RepairResult` rides on the exception as ``repair_result``.
         """
+        telemetry = network.telemetry
+        with telemetry.span("repair", strategy=self.strategy) as span:
+            result = self._repair_impl(network, election)
+            if telemetry.enabled:
+                span.annotate(
+                    rebuilt=result.rebuilt,
+                    reparented=len(result.parent_changed),
+                    detached=len(result.detached),
+                )
+                telemetry.count("repair.passes", 1)
+                if result.rebuilt:
+                    telemetry.count("repair.fallbacks", 1)
+        return result
+
+    def _repair_impl(
+        self, network: SensorNetwork, election: RootElection | None
+    ) -> RepairResult:
         elected: ElectionResult | None = None
         if not network.is_alive(network.root_id):
             chooser = election if election is not None else self.election

@@ -29,6 +29,7 @@ from typing import Any
 from repro.exceptions import ConfigurationError
 from repro.faults.engine import FaultEngine
 from repro.faults.trace import FaultEpochRecord, FaultTrace
+from repro.telemetry.recorder import TelemetryRecorder
 
 
 def _truth_and_error(
@@ -73,6 +74,7 @@ def run_faulty_stream(
     faults: FaultEngine,
     epochs: int,
     compute_truth: bool = True,
+    telemetry: TelemetryRecorder | None = None,
 ) -> FaultTrace:
     """Run ``engine`` for ``epochs`` epochs of ``stream`` under ``faults``.
 
@@ -86,6 +88,14 @@ def run_faulty_stream(
     ``compute_truth`` controls the per-epoch ground-truth sweep (it reads
     every attached node's items, which is the one O(n)-per-epoch step);
     disable it for pure cost measurements at large scale.
+
+    ``telemetry`` installs a recorder (normally a
+    :class:`~repro.telemetry.SpanTracer`) on the engine's network for the
+    run: every epoch then emits one ``epoch`` span with the
+    ``detect`` / ``election`` / ``repair`` / ``stream`` phase spans nested
+    inside it, plus the answer-error, detection-latency and per-ledger-key
+    bit metrics.  The recorder stays installed after the run so its trace
+    can be exported; assign ``network.telemetry = None`` to switch it off.
     """
     if epochs <= 0:
         raise ConfigurationError(f"epochs must be positive, got {epochs}")
@@ -94,6 +104,9 @@ def run_faulty_stream(
         raise ConfigurationError(
             "the fault engine and the query engine must share one network"
         )
+    if telemetry is not None:
+        network.telemetry = telemetry
+    recorder = network.telemetry
     trace = FaultTrace()
     energy = engine.energy_model
     per_bit_nj = (
@@ -106,37 +119,41 @@ def run_faulty_stream(
         pop_events = getattr(stream, "pop_fault_events", None)
         extra_events = pop_events() if pop_events is not None else ()
 
-        before = network.ledger.counters_snapshot()
-        report = faults.step(epoch, extra_events=extra_events)
-        election = report.election
-        if election is not None:
-            # Root fail-over: migrate the caches along the reversed root
-            # path first, then let the ordinary repair recovery handle the
-            # re-attached fragments.
-            engine.apply_root_change(election)
-        engine.apply_repair(report.repair)
-        mid = network.ledger.counters_snapshot()
+        epoch_span = recorder.span("epoch", epoch=epoch)
+        with epoch_span:
+            before = network.ledger.counters_snapshot()
+            report = faults.step(epoch, extra_events=extra_events)
+            election = report.election
+            if election is not None:
+                # Root fail-over: migrate the caches along the reversed root
+                # path first, then let the ordinary repair recovery handle the
+                # re-attached fragments.
+                engine.apply_root_change(election)
+            engine.apply_repair(report.repair)
+            mid = network.ledger.counters_snapshot()
 
-        tree_nodes = network.tree.parent
-        # Crashed-but-undetected nodes still sit in the tree, but their
-        # sensors are gone: a zombie reads nothing, so its updates vanish
-        # (its stale cached summary lingering at the root is exactly the
-        # answer-error cost of the detection window).
-        undetected = getattr(faults, "undetected_dead", frozenset())
-        reachable_updates = {
-            node_id: items
-            for node_id, items in updates.items()
-            if node_id in tree_nodes and node_id not in undetected
-        }
-        # A flap (crash + rejoin inside one detection window) leaves the
-        # tree untouched but replaced the node's readings wholesale; surface
-        # it as this epoch's update so the stale pre-crash summary is
-        # re-synchronised instead of being served forever.
-        for node_id in report.flapped:
-            if node_id in tree_nodes:
-                reachable_updates[node_id] = list(network.node(node_id).items)
-        record = engine.advance_epoch(reachable_updates)
-        after = network.ledger.counters_snapshot()
+            tree_nodes = network.tree.parent
+            # Crashed-but-undetected nodes still sit in the tree, but their
+            # sensors are gone: a zombie reads nothing, so its updates vanish
+            # (its stale cached summary lingering at the root is exactly the
+            # answer-error cost of the detection window).
+            undetected = getattr(faults, "undetected_dead", frozenset())
+            reachable_updates = {
+                node_id: items
+                for node_id, items in updates.items()
+                if node_id in tree_nodes and node_id not in undetected
+            }
+            # A flap (crash + rejoin inside one detection window) leaves the
+            # tree untouched but replaced the node's readings wholesale;
+            # surface it as this epoch's update so the stale pre-crash summary
+            # is re-synchronised instead of being served forever.
+            for node_id in report.flapped:
+                if node_id in tree_nodes:
+                    reachable_updates[node_id] = list(
+                        network.node(node_id).items
+                    )
+            record = engine.advance_epoch(reachable_updates)
+            after = network.ledger.counters_snapshot()
 
         # Heartbeats and election traffic were charged inside faults.step;
         # keep them (bits and message counts both) out of the repair column
@@ -209,4 +226,26 @@ def run_faulty_stream(
                 ),
             )
         )
+        if recorder.enabled:
+            latest = trace.records[-1]
+            epoch_span.annotate(
+                crashes=latest.crashes,
+                rejoins=latest.rejoins,
+                rebuilt=latest.rebuilt,
+                alive=latest.alive,
+                attached=latest.attached,
+            )
+            recorder.observe("epoch.bits", latest.total_bits)
+            recorder.gauge("population.alive", latest.alive)
+            recorder.gauge("population.attached", latest.attached)
+            for name, error in latest.errors.items():
+                recorder.observe("answer.error", error, query=name)
+            if latest.detected:
+                recorder.observe(
+                    "detect.latency_epochs", latest.detection_latency
+                )
+            for key, bits in after.per_protocol_bits.items():
+                delta = bits - before.per_protocol_bits.get(key, 0)
+                if delta:
+                    recorder.count("ledger.bits", delta, protocol=key)
     return trace

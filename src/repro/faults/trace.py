@@ -18,33 +18,35 @@ that repair acts on costs by itself.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Iterator
+from typing import Any, ClassVar, Iterator
+
+from repro.telemetry.records import EpochRecordBase, TraceSerialization
 
 
 @dataclass(frozen=True)
-class FaultEpochRecord:
-    """Everything measured during one epoch of a faulty run."""
+class FaultEpochRecord(EpochRecordBase):
+    """Everything measured during one epoch of a faulty run.
 
-    epoch: int
-    crashes: int
-    rejoins: int
-    link_drops: int
-    link_restores: int
-    reparented: int
-    rebuilt: bool
-    detached: int
-    alive: int
-    attached: int
-    repair_bits: int
-    repair_messages: int
-    query_bits: int
-    total_bits: int
-    messages: int
-    rounds: int
-    energy_nj: float
-    dirty_nodes: int
-    transmissions: int
-    suppressions: int
+    Inherits the shared measurement fields and the ``to_dict()`` /
+    ``to_jsonl()`` serializers from
+    :class:`~repro.telemetry.EpochRecordBase`.
+    """
+
+    record_type: ClassVar[str] = "fault_epoch"
+
+    crashes: int = 0
+    rejoins: int = 0
+    link_drops: int = 0
+    link_restores: int = 0
+    reparented: int = 0
+    rebuilt: bool = False
+    detached: int = 0
+    alive: int = 0
+    attached: int = 0
+    repair_bits: int = 0
+    repair_messages: int = 0
+    query_bits: int = 0
+    total_bits: int = 0
     answers: dict[str, Any] = field(default_factory=dict)
     truths: dict[str, float] = field(default_factory=dict)
     errors: dict[str, float] = field(default_factory=dict)
@@ -76,7 +78,7 @@ class FaultEpochRecord:
 
 
 @dataclass
-class FaultTrace:
+class FaultTrace(TraceSerialization):
     """The epoch-by-epoch history of one run under fault injection."""
 
     records: list[FaultEpochRecord] = field(default_factory=list)

@@ -51,6 +51,7 @@ from repro.network.radio import (
 )
 from repro.network.spanning_tree import SpanningTree, bfs_tree, bounded_degree_tree
 from repro.network.topology import build_topology
+from repro.telemetry.recorder import NULL_RECORDER, TelemetryRecorder, as_recorder
 
 #: Valid values of :attr:`SensorNetwork.execution`.
 EXECUTION_MODES = ("batched", "per-edge")
@@ -68,6 +69,7 @@ class SensorNetwork:
         degree_bound: int | None = 3,
         ledger: CommunicationLedger | None = None,
         execution: str = "batched",
+        telemetry: TelemetryRecorder | None = None,
     ) -> None:
         if root not in graph:
             raise TopologyError(f"root {root} is not a node of the graph")
@@ -77,6 +79,8 @@ class SensorNetwork:
         self.root_id = root
         self.radio = radio if radio is not None else ReliableRadio()
         self.ledger = ledger if ledger is not None else CommunicationLedger()
+        self._telemetry: TelemetryRecorder = NULL_RECORDER
+        self.telemetry = telemetry
         self.execution = execution
         self._nodes: dict[int, SensorNode] = {
             node_id: SensorNode(node_id=node_id, is_root=(node_id == root))
@@ -106,6 +110,7 @@ class SensorNetwork:
         degree_bound: int | None = 3,
         seed: int | None = 0,
         execution: str = "batched",
+        telemetry: TelemetryRecorder | None = None,
     ) -> "SensorNetwork":
         """Build a network with one item per node.
 
@@ -130,10 +135,31 @@ class SensorNetwork:
             radio=radio,
             degree_bound=degree_bound,
             execution=execution,
+            telemetry=telemetry,
         )
         for node_id, value in zip(network._sorted_ids, items):
             network._nodes[node_id].add_item(value)
         return network
+
+    @property
+    def telemetry(self) -> TelemetryRecorder:
+        """The recorder behind every profiling hook on this network.
+
+        Defaults to the shared
+        :data:`~repro.telemetry.NULL_RECORDER`, whose hooks are no-ops and
+        never charge the ledger; install a
+        :class:`~repro.telemetry.SpanTracer` (or assign ``None`` to switch
+        back off) to light up the spans and counters across the whole
+        pipeline.  Installing a recorder binds this network's ledger to it,
+        so its spans meter the right counters.
+        """
+        return self._telemetry
+
+    @telemetry.setter
+    def telemetry(self, recorder: TelemetryRecorder | None) -> None:
+        recorder = as_recorder(recorder)
+        recorder.bind_ledger(self.ledger)
+        self._telemetry = recorder
 
     @property
     def execution(self) -> str:
@@ -405,6 +431,13 @@ class SensorNetwork:
         charged_attempts = max(outcome.attempts, outcome.copies_delivered)
         for _ in range(charged_attempts):
             self.ledger.charge(sender, receiver, size_bits, protocol=protocol)
+        telemetry = self._telemetry
+        if telemetry.enabled:
+            telemetry.count("net.sends", 1, protocol=protocol)
+            telemetry.count("net.messages", charged_attempts, protocol=protocol)
+            telemetry.count(
+                "net.bits", size_bits * charged_attempts, protocol=protocol
+            )
         message = Message(
             sender=sender,
             receiver=receiver,
@@ -454,6 +487,35 @@ class SensorNetwork:
         payloads to receivers themselves — so the return value is the
         ``copies_delivered`` count per link.
         """
+        telemetry = self._telemetry
+        if not telemetry.enabled:
+            return self._send_batch_impl(links, sizes, protocol, require_edge)
+        # Profiling hook: meter the batch off the ledger itself (exact even
+        # on the partial-charge failure path) instead of re-deriving sizes.
+        ledger = self.ledger
+        bits_before = ledger.total_bits
+        messages_before = ledger.total_messages
+        try:
+            return self._send_batch_impl(links, sizes, protocol, require_edge)
+        finally:
+            telemetry.count("net.batches", 1, protocol=protocol)
+            telemetry.count("net.links", len(links), protocol=protocol)
+            telemetry.count(
+                "net.messages",
+                ledger.total_messages - messages_before,
+                protocol=protocol,
+            )
+            telemetry.count(
+                "net.bits", ledger.total_bits - bits_before, protocol=protocol
+            )
+
+    def _send_batch_impl(
+        self,
+        links: Sequence[tuple[int, int]],
+        sizes: Sequence[int],
+        protocol: str,
+        require_edge: bool,
+    ) -> list[int]:
         if len(links) != len(sizes):
             raise ConfigurationError(
                 f"send_batch got {len(links)} links but {len(sizes)} sizes"

@@ -75,8 +75,17 @@ def epoch_convergecast(
     if not dirty:
         return EpochStats(rounds=0, activated=0, transmissions=0, suppressions=0)
     if network.execution == "per-edge":
-        return _epoch_convergecast_per_edge(network, dirty, decide, protocol)
-    return _epoch_convergecast_batched(network, dirty, decide, protocol)
+        stats = _epoch_convergecast_per_edge(network, dirty, decide, protocol)
+    else:
+        stats = _epoch_convergecast_batched(network, dirty, decide, protocol)
+    telemetry = network.telemetry
+    if telemetry.enabled:
+        telemetry.count("sweep.epochs", 1, protocol=protocol, path=network.execution)
+        telemetry.count("sweep.rounds", stats.rounds, protocol=protocol)
+        telemetry.count("sweep.activated", stats.activated, protocol=protocol)
+        telemetry.count("sweep.transmissions", stats.transmissions, protocol=protocol)
+        telemetry.count("sweep.suppressions", stats.suppressions, protocol=protocol)
+    return stats
 
 
 def _epoch_convergecast_batched(

@@ -271,15 +271,25 @@ class ContinuousQueryEngine:
         tree_nodes = self.network.tree.parent
         total_dirty: set[int] = set()
         stats_total = {"transmissions": 0, "suppressions": 0}
-        for name, state in self._queries.items():
-            dirty = self._refresh_local_summaries(state, updates)
-            dirty |= pending
-            dirty = {node for node in dirty if node in tree_nodes}
-            total_dirty |= dirty
-            stats = self._run_query_epoch(name, state, dirty)
-            stats_total["transmissions"] += stats.transmissions
-            stats_total["suppressions"] += stats.suppressions
-            self._read_answer(name, state)
+        telemetry = self.network.telemetry
+        stream_span = telemetry.span("stream", epoch=len(self.trace))
+        with stream_span:
+            for name, state in self._queries.items():
+                dirty = self._refresh_local_summaries(state, updates)
+                dirty |= pending
+                dirty = {node for node in dirty if node in tree_nodes}
+                total_dirty |= dirty
+                with telemetry.span("convergecast", query=name):
+                    stats = self._run_query_epoch(name, state, dirty)
+                stats_total["transmissions"] += stats.transmissions
+                stats_total["suppressions"] += stats.suppressions
+                self._read_answer(name, state)
+            if telemetry.enabled:
+                stream_span.annotate(
+                    dirty_nodes=len(total_dirty),
+                    transmissions=stats_total["transmissions"],
+                    suppressions=stats_total["suppressions"],
+                )
 
         after = self.network.ledger.counters_snapshot()
         record = build_epoch_record(

@@ -12,30 +12,32 @@ incremental-versus-recompute savings.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Iterator
+from typing import Any, ClassVar, Iterator
 
 from repro.network.accounting import LedgerSnapshot
 from repro.network.energy import EnergyModel
+from repro.telemetry.records import EpochRecordBase, TraceSerialization
 
 
 @dataclass(frozen=True)
-class EpochRecord:
-    """Everything measured during one epoch of a streaming engine."""
+class EpochRecord(EpochRecordBase):
+    """Everything measured during one epoch of a streaming engine.
 
-    epoch: int
-    answers: dict[str, Any]
-    bits: int
-    messages: int
-    rounds: int
-    energy_nj: float
-    dirty_nodes: int
-    transmissions: int
-    suppressions: int
+    Inherits the shared measurement fields and the ``to_dict()`` /
+    ``to_jsonl()`` serializers from
+    :class:`~repro.telemetry.EpochRecordBase`.
+    """
+
+    record_type: ClassVar[str] = "epoch"
+
+    #: Total bits charged this epoch (all queries together).
+    bits: int = 0
+    answers: dict[str, Any] = field(default_factory=dict)
     per_query_bits: dict[str, int] = field(default_factory=dict)
 
 
 @dataclass
-class StreamingTrace:
+class StreamingTrace(TraceSerialization):
     """The epoch-by-epoch history of one engine run."""
 
     records: list[EpochRecord] = field(default_factory=list)

@@ -1,0 +1,75 @@
+"""Unified telemetry: span tracing, metrics, and JSONL export.
+
+The paper's contribution is a *cost measure* — per-node communication
+complexity — and this package is the repository's single instrumentation
+substrate for observing it.  Three pieces:
+
+* :mod:`repro.telemetry.recorder` — the :class:`TelemetryRecorder`
+  protocol behind every profiling hook, and the :data:`NULL_RECORDER`
+  default that makes instrumentation free when disabled;
+* :mod:`repro.telemetry.spans` — the :class:`SpanTracer`: nested, timed
+  spans around each phase of the epoch pipeline, with exact per-span
+  ledger deltas metered through :class:`~repro.network.LedgerMark`;
+* :mod:`repro.telemetry.metrics` — the :class:`MetricsRegistry` of
+  counters/gauges/histograms with Prometheus-text and markdown renderers.
+
+:mod:`repro.telemetry.export` handles JSONL files, and
+:mod:`repro.telemetry.records` holds :class:`EpochRecordBase`, the shared
+base of the streaming and fault per-epoch records.
+
+Install a tracer on a network to light everything up::
+
+    tracer = SpanTracer()
+    network.telemetry = tracer          # binds the network's ledger
+    trace = run_faulty_stream(engine, stream, faults, telemetry=tracer)
+    tracer.write_jsonl("telemetry.jsonl")
+    print(tracer.metrics.render_markdown())
+
+The cardinal rule, enforced by the overhead-guard test: telemetry
+*observes* the cost model and never charges a bit into it.
+"""
+
+from repro.telemetry.export import (
+    dumps_line,
+    load_jsonl,
+    read_jsonl,
+    split_by_type,
+    write_jsonl,
+)
+from repro.telemetry.metrics import (
+    DEFAULT_BUCKETS,
+    HistogramState,
+    MetricsRegistry,
+)
+from repro.telemetry.records import EpochRecordBase, TraceSerialization, json_safe
+from repro.telemetry.recorder import (
+    NULL_RECORDER,
+    NULL_SPAN,
+    NullRecorder,
+    NullSpan,
+    TelemetryRecorder,
+    as_recorder,
+)
+from repro.telemetry.spans import Span, SpanTracer
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "EpochRecordBase",
+    "HistogramState",
+    "MetricsRegistry",
+    "NULL_RECORDER",
+    "NULL_SPAN",
+    "NullRecorder",
+    "NullSpan",
+    "Span",
+    "SpanTracer",
+    "TelemetryRecorder",
+    "TraceSerialization",
+    "as_recorder",
+    "dumps_line",
+    "json_safe",
+    "load_jsonl",
+    "read_jsonl",
+    "split_by_type",
+    "write_jsonl",
+]

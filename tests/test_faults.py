@@ -1,5 +1,7 @@
 """Fault-tolerance engine: events, self-healing trees, recovery, accuracy."""
 
+import random
+
 import pytest
 
 from repro.analysis.experiments import (
@@ -10,11 +12,13 @@ from repro.exceptions import ConfigurationError, DeadNodeError
 from repro.faults import (
     FaultEngine,
     FaultScript,
+    HeartbeatDetector,
     LinkDrop,
     LinkRestore,
     NodeCrash,
     NodeRejoin,
     RegionalOutage,
+    RootElection,
     TreeRepair,
     run_faulty_stream,
 )
@@ -27,6 +31,7 @@ from repro.workloads.faults import (
     crash_storm_script,
     link_storm_script,
     regional_outage_script,
+    root_failover_script,
 )
 from repro.workloads.streams import ChurnStream, DriftStream
 
@@ -679,3 +684,82 @@ class TestAdoptionFallback:
         assert left_tree == right_tree
         assert left_ledger.per_node_bits == right_ledger.per_node_bits
         assert left_ledger.per_protocol_bits == right_ledger.per_protocol_bits
+
+
+class TestAccountingInvariant:
+    """Property: every record splits its bits exactly into the four columns.
+
+    ``total_bits == repair_bits + query_bits + detection_bits +
+    election_bits`` must hold on every epoch of every run, whatever the
+    fault script throws at the engine.  Randomized scripts (storms with and
+    without rejoins, background churn, root crashes, charged detection on
+    or off) are generated from seeded ``random.Random`` instances, so a
+    failure reproduces from its printed seed.
+    """
+
+    EPOCHS = 8
+    NUM_NODES = 36
+
+    def random_run(self, seed):
+        rng = random.Random(seed)
+        network = fresh_network(self.NUM_NODES)
+        network.clear_items()
+        engine = count_engine(network, epsilon=rng.choice([0.0, 0.1]))
+        node_ids = network.node_ids()
+        script = crash_storm_script(
+            node_ids,
+            epoch=rng.randint(1, 3),
+            fraction=rng.uniform(0.05, 0.35),
+            seed=seed,
+            rejoin_epoch=rng.choice([None, 5]),
+            rejoin_value_max=DOMAIN - 1,
+        )
+        if rng.random() < 0.5:
+            script = script.merge(
+                churn_script(
+                    node_ids,
+                    epochs=self.EPOCHS - 1,
+                    churn_rate=rng.uniform(0.01, 0.08),
+                    start_epoch=1,
+                    seed=seed + 1,
+                    rejoin_value_max=DOMAIN - 1,
+                )
+            )
+        if rng.random() < 0.5:
+            script = script.merge(
+                root_failover_script(node_ids, crash_epoch=rng.randint(4, 6))
+            )
+        detector = (
+            HeartbeatDetector(period=rng.randint(1, 3))
+            if rng.random() < 0.7
+            else None
+        )
+        faults = FaultEngine(
+            network, script=script, detector=detector, election=RootElection()
+        )
+        stream = DriftStream(self.NUM_NODES, max_value=DOMAIN, seed=seed)
+        return run_faulty_stream(engine, stream, faults, epochs=self.EPOCHS)
+
+    def test_bit_decomposition_holds_across_random_fault_scripts(self):
+        elections_seen = 0
+        detection_seen = 0
+        for seed in range(12):
+            trace = self.random_run(seed)
+            for record in trace:
+                assert record.total_bits == (
+                    record.repair_bits
+                    + record.query_bits
+                    + record.detection_bits
+                    + record.election_bits
+                ), f"decomposition violated at seed={seed} epoch={record.epoch}"
+            assert trace.total_bits == (
+                trace.total_repair_bits
+                + trace.total_query_bits
+                + trace.total_detection_bits
+                + trace.total_election_bits
+            ), f"trace-level decomposition violated at seed={seed}"
+            elections_seen += trace.election_count
+            detection_seen += trace.total_detection_bits
+        # The randomized pool genuinely exercised the interesting columns.
+        assert elections_seen > 0
+        assert detection_seen > 0
