@@ -22,6 +22,9 @@ runners is noise).
 from __future__ import annotations
 
 import os
+import time
+
+import pytest
 
 from benchmarks.conftest import (
     emit_bench_json,
@@ -31,6 +34,7 @@ from benchmarks.conftest import (
 )
 from repro.analysis.experiments import run_scaling_study
 from repro.analysis.report import format_table
+from repro.network.simulator import SensorNetwork
 from repro.telemetry import SpanTracer
 
 _ENV_SIZES = os.environ.get("REPRO_SCALE_SIZES")
@@ -131,3 +135,185 @@ def test_batched_backend_scales(benchmark):
     )
     if tracer.spans:
         emit_telemetry_jsonl("scale", tracer)
+
+
+# --------------------------------------------------------------------------- #
+# Vectorized core: the million-node epoch
+# --------------------------------------------------------------------------- #
+MILLION = 1_000_000
+VECTORIZED_N = max(SIZES) if SMOKE else MILLION
+EPOCH_BUDGET_SECONDS = 1.0
+STEADY_EPOCHS = 5
+CHURN_FRACTION = 0.01
+
+
+def test_vectorized_million_node_epoch(benchmark):
+    """A 1M-node fused epoch (detect + repair + convergecast) under 1 s.
+
+    The steady-state epoch is the quantity the paper's continuous-monitoring
+    regime pays every round: a full heartbeat sweep over all alive edges, the
+    attach-mask repair sweep, and the change-driven convergecast over ~1% of
+    the field.  All three phases run as whole-array level passes on the
+    :class:`~repro.network.VectorField`, so the epoch cost is a handful of
+    numpy passes — not a million Python callbacks.
+    """
+    pytest.importorskip("numpy", reason="the vectorized core needs the fast extra")
+    import numpy as np
+
+    from repro.network import VectorField
+
+    tracer = SpanTracer()
+    field = VectorField.balanced(VECTORIZED_N, branching=8, telemetry=tracer)
+    field.register_count_query("count")
+    rng = np.random.default_rng(0)
+    field.advance_epoch(
+        changed_positions=np.arange(VECTORIZED_N),
+        new_counts=rng.integers(0, 50, VECTORIZED_N),
+    )
+
+    churn = max(1, int(VECTORIZED_N * CHURN_FRACTION))
+
+    def steady_epochs():
+        for _ in range(STEADY_EPOCHS):
+            changed = rng.choice(VECTORIZED_N, churn, replace=False)
+            field.advance_epoch(
+                changed_positions=changed,
+                new_counts=rng.integers(0, 50, churn),
+            )
+
+    started = time.perf_counter()
+    run_once(benchmark, steady_epochs)
+    per_epoch = (time.perf_counter() - started) / STEADY_EPOCHS
+
+    total_bits = sum(record["bits"] for record in field.records[1:])
+    print()
+    print(format_table(
+        ["N", "epoch (ms)", "dirty/epoch", "tx/epoch", "bits/epoch"],
+        [[
+            VECTORIZED_N,
+            round(per_epoch * 1000, 1),
+            round(sum(r["dirty"] for r in field.records[1:]) / STEADY_EPOCHS),
+            round(sum(r["transmissions"] for r in field.records[1:]) / STEADY_EPOCHS),
+            round(total_bits / STEADY_EPOCHS),
+        ]],
+        title="E12  vectorized fused epoch: detect + repair + stream",
+    ))
+    benchmark.extra_info["vectorized_epoch_ms"] = round(per_epoch * 1000, 2)
+
+    metrics = {}
+    if not SMOKE:
+        assert VECTORIZED_N >= MILLION
+        assert per_epoch < EPOCH_BUDGET_SECONDS, (
+            f"1M-node epoch took {per_epoch:.3f}s (budget {EPOCH_BUDGET_SECONDS}s)"
+        )
+        metrics["vectorized_epochs_per_second"] = {
+            "value": round(1.0 / per_epoch, 2),
+            "floor": 1.0 / EPOCH_BUDGET_SECONDS,
+        }
+
+    emit_bench_json(
+        "scale",
+        n=VECTORIZED_N,
+        wall_clock_s=per_epoch,
+        bits=total_bits,
+        metrics=metrics,
+        phases=phases_from_tracer(tracer) or None,
+    )
+    if tracer.spans:
+        emit_telemetry_jsonl("scale_vectorized", tracer)
+
+
+# --------------------------------------------------------------------------- #
+# Sharded backend: bit-identical to the single-process batched engine
+# --------------------------------------------------------------------------- #
+SHARDED_N = min(10_000, max(SIZES)) if SMOKE else 10_000
+SHARDED_EPOCHS = 4
+
+
+def test_sharded_ledger_identity(benchmark):
+    """Per-epoch ledger merges leave the sharded backend bit-identical.
+
+    Twin networks at n = 10,000 run the same drift stream, one under the
+    single-process batched engine and one under ``execution="sharded"`` with
+    fork workers; the merged worker ledgers must reproduce the batched
+    ledger exactly — per-node bits, totals, messages, rounds and
+    per-protocol breakdowns.  The sharded run's ``shard.sweep`` /
+    ``shard.merge`` spans land in the BENCH_scale.json phase table.
+    """
+    pytest.importorskip("numpy", reason="the sharded backend needs the fast extra")
+
+    import random
+
+    from repro.streaming.engine import ContinuousQueryEngine
+    from repro.streaming.queries import CountQuery
+    from repro.streaming.vector_engine import VectorStreamEngine
+
+    tracer = SpanTracer()
+
+    def build(execution, telemetry=None):
+        network = SensorNetwork.from_items(
+            [0] * SHARDED_N,
+            topology="random_geometric",
+            seed=0,
+            execution=execution,
+            telemetry=telemetry,
+        )
+        return network
+
+    def run_twins():
+        batched_net = build("batched")
+        sharded_net = build("sharded", telemetry=tracer)
+        engines = [
+            ContinuousQueryEngine(batched_net, epsilon=0.1),
+            VectorStreamEngine(sharded_net, epsilon=0.1, shard_processes=2),
+        ]
+        rng_state = random.Random(17)
+        epochs = []
+        for _ in range(SHARDED_EPOCHS):
+            updates = {
+                rng_state.randrange(SHARDED_N): [
+                    rng_state.randrange(100)
+                    for _ in range(rng_state.randrange(4))
+                ]
+                for _ in range(SHARDED_N // 20)
+            }
+            epochs.append(updates)
+        for engine in engines:
+            engine.register("count", CountQuery())
+            for updates in epochs:
+                engine.advance_epoch(dict(updates))
+            if hasattr(engine, "close"):
+                engine.close()
+        return batched_net, sharded_net
+
+    started = time.perf_counter()
+    batched_net, sharded_net = run_once(benchmark, run_twins)
+    elapsed = time.perf_counter() - started
+    left = batched_net.ledger.snapshot()
+    right = sharded_net.ledger.snapshot()
+    identical = (
+        left.per_node_bits == right.per_node_bits
+        and left.total_bits == right.total_bits
+        and left.max_node_bits == right.max_node_bits
+        and left.messages == right.messages
+        and left.rounds == right.rounds
+        and left.per_protocol_bits == right.per_protocol_bits
+    )
+    assert identical, "sharded ledger diverged from the batched reference"
+
+    print()
+    print(format_table(
+        ["N", "epochs", "total bits", "ledgers equal"],
+        [[SHARDED_N, SHARDED_EPOCHS, left.total_bits, identical]],
+        title="E13  sharded backend: merged worker ledgers vs batched",
+    ))
+    emit_bench_json(
+        "scale",
+        n=SHARDED_N,
+        wall_clock_s=elapsed,
+        bits=left.total_bits,
+        metrics={"sharded_ledger_identity": {"value": 1.0, "floor": 1.0}},
+        phases=phases_from_tracer(tracer) or None,
+    )
+    if tracer.spans:
+        emit_telemetry_jsonl("scale_sharded", tracer)

@@ -160,6 +160,54 @@ class HeartbeatDetector:
         )
 
 
+def heartbeat_sweep_vectorized(
+    flat,
+    alive,
+    ledger,
+    heartbeat_bits: int = HEARTBEAT_BITS,
+    protocol: str = "faults:heartbeat",
+    telemetry=None,
+    period: int = 1,
+) -> tuple[int, int]:
+    """Charge one heartbeat sweep from whole-array masks, no link list.
+
+    The array counterpart of :meth:`HeartbeatDetector.charge_sweep` for the
+    standalone :class:`~repro.network.vector_field.VectorField`: ``flat`` is
+    a :class:`~repro.network.FlatTree`, ``alive`` a boolean mask over its
+    canonical positions, and ``ledger`` any ledger exposing ``charge_array``
+    (the :class:`~repro.network.ArrayLedger` makes it one vector add).  A
+    link is charged when both endpoints are alive — a dead child is silent
+    (that silence is the detection signal) and a dead parent is not probed.
+    Returns ``(bits, messages)`` like the charged sweep.
+
+    Perfect links only: the standalone field has no radio model, so this is
+    the :class:`~repro.network.radio.ReliableRadio` cost exactly.
+    """
+    from repro._util.fastpath import require_numpy
+
+    np = require_numpy("vectorized heartbeat sweep")
+    parent = flat.parent
+    mask = alive & (parent >= 0)
+    mask &= np.where(parent >= 0, alive[np.maximum(parent, 0)], False)
+    count = int(mask.sum())
+
+    def _charge() -> None:
+        if count:
+            senders = flat.ids_array[mask]
+            receivers = flat.ids_array[parent[mask]]
+            sizes = np.full(count, heartbeat_bits, dtype=np.int64)
+            ledger.charge_array(senders, receivers, sizes, protocol=protocol)
+
+    if telemetry is not None and telemetry.enabled:
+        with telemetry.span("detect", period=period) as span:
+            _charge()
+            span.annotate(silent=int(flat.num_nodes - int(alive.sum())))
+            telemetry.count("detect.sweeps", 1)
+    else:
+        _charge()
+    return count * heartbeat_bits, count
+
+
 def detector_from_config(config) -> "HeartbeatDetector | None":
     """Normalise detector configuration: ``None``, a period, or an instance.
 

@@ -1132,3 +1132,28 @@ class TreeRepair:
             rounds=rounds,
             election=elected,
         )
+
+
+def attached_mask_vectorized(flat, alive):
+    """Root-connectivity as one top-down array sweep over a flat tree.
+
+    The array counterpart of the batched repair's attached-set computation,
+    for callers that hold a :class:`~repro.network.FlatTree` plus an
+    ``alive`` boolean mask over its canonical positions (the standalone
+    :class:`~repro.network.vector_field.VectorField`): a node is attached
+    iff it is alive and its parent is attached, seeded at the root.  One
+    whole-array pass per tree level, O(n) total, no per-node Python.
+
+    Returns a new boolean mask; ``alive`` is not modified.  The in-tree
+    repair machinery is unaffected — under ``execution`` modes
+    ``"vectorized"`` and ``"sharded"`` the :class:`TreeRepair` dispatch
+    routes to the batched implementation, whose ledger is the reference.
+    """
+    from repro._util.fastpath import require_numpy
+
+    require_numpy("vectorized attach sweep")
+    attached = alive.copy()
+    parent = flat.parent
+    for start, end in flat.level_spans[1:]:
+        attached[start:end] &= attached[parent[start:end]]
+    return attached

@@ -9,6 +9,7 @@ of bits transmitted plus received by any single node.
 """
 
 from repro.network.accounting import (
+    ArrayLedger,
     CommunicationLedger,
     LedgerMark,
     LedgerSnapshot,
@@ -32,6 +33,7 @@ from repro.network.spanning_tree import (
     bounded_degree_tree,
     tree_from_parents,
 )
+from repro.network.vector_field import VectorField
 from repro.network.topology import (
     balanced_tree_topology,
     grid_topology,
@@ -43,6 +45,7 @@ from repro.network.topology import (
 )
 
 __all__ = [
+    "ArrayLedger",
     "CommunicationLedger",
     "LedgerMark",
     "LedgerSnapshot",
@@ -59,6 +62,7 @@ __all__ = [
     "RoundEngine",
     "EXECUTION_MODES",
     "SensorNetwork",
+    "VectorField",
     "SpanningTree",
     "bfs_tree",
     "bounded_degree_tree",

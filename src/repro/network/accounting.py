@@ -30,8 +30,9 @@ from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Iterator, Sequence
 
+from repro._util.fastpath import np as _np
 from repro._util.validation import require_non_negative
-from repro.exceptions import BudgetExceededError
+from repro.exceptions import BudgetExceededError, ConfigurationError
 
 
 @dataclass
@@ -250,6 +251,37 @@ class CommunicationLedger:
             self._messages += messages
             self._total_bits += protocol_bits
 
+    def charge_array(
+        self,
+        senders,
+        receivers,
+        sizes,
+        protocol: str = "unknown",
+        copies=None,
+    ) -> None:
+        """Charge parallel sender/receiver/size arrays in one call.
+
+        The array-shaped twin of :meth:`charge_batch`, used by the vectorized
+        execution path: ``senders[i]`` transmitted ``sizes[i]`` bits to
+        ``receivers[i]`` (``copies[i]`` times, when given).  On the base
+        dict-backed ledger this *delegates* to :meth:`charge_batch` — every
+        mark, budget and ordering behaviour is identical, which is what the
+        representation-equivalence suite relies on; :class:`ArrayLedger`
+        overrides it with a whole-array implementation.
+
+        Inputs may be numpy arrays or plain sequences; they are normalised to
+        Python ints before touching the per-node table, so dict keys and
+        per-protocol totals never hold numpy scalars.
+        """
+        senders = _as_int_list(senders)
+        receivers = _as_int_list(receivers)
+        self.charge_batch(
+            list(zip(senders, receivers)),
+            _as_int_list(sizes),
+            copies=None if copies is None else _as_int_list(copies),
+            protocol=protocol,
+        )
+
     def charge_local(self, node: int, size_bits: int, protocol: str = "local") -> None:
         """Charge bits that a node stores/processes locally without transmitting.
 
@@ -412,6 +444,277 @@ class CommunicationLedger:
     def __repr__(self) -> str:  # pragma: no cover - debug convenience
         return (
             f"CommunicationLedger(max_node_bits={self.max_node_bits}, "
+            f"total_bits={self._total_bits}, messages={self._messages}, "
+            f"rounds={self._rounds})"
+        )
+
+
+def _as_int_list(values) -> list[int]:
+    """Normalise an array/sequence to a list of Python ints."""
+    if hasattr(values, "tolist"):
+        return values.tolist()
+    return [int(value) for value in values]
+
+
+class ArrayLedgerMark:
+    """Interval marker on an :class:`ArrayLedger`.
+
+    Where :class:`LedgerMark` records per-node baselines lazily on first
+    touch (per-charge bookkeeping the vectorized path cannot afford), this
+    mark snapshots the dense per-node totals column *once* at creation —
+    one ``O(n)`` array copy, after which charging stays bookkeeping-free
+    and interval deltas are one whole-array subtraction.
+    """
+
+    __slots__ = ("total_bits", "messages", "rounds", "node_total")
+
+    def __init__(self, total_bits: int, messages: int, rounds: int, node_total) -> None:
+        self.total_bits = total_bits
+        self.messages = messages
+        self.rounds = rounds
+        self.node_total = node_total
+
+    def rebase(self, total_bits: int, messages: int, rounds: int) -> None:
+        """Reset the mark to a new origin (used when the ledger is reset)."""
+        self.total_bits = total_bits
+        self.messages = messages
+        self.rounds = rounds
+        self.node_total = _np.zeros_like(self.node_total)
+
+
+class ArrayLedger(CommunicationLedger):
+    """Dense array-backed ledger for fields with node ids ``0..n-1``.
+
+    The dict-backed :class:`CommunicationLedger` pays one hash probe and one
+    ``NodeTraffic`` attribute update per endpoint per charge — at a million
+    nodes that alone dwarfs an epoch's kernel time.  This subclass keeps the
+    per-node counters as four contiguous ``int64`` columns and makes
+    :meth:`charge_array` a handful of ``np.add.at`` scatter-adds, while
+    keeping every observable — :meth:`snapshot`, :meth:`counters_snapshot`,
+    per-protocol totals, marks for the telemetry spans — semantically
+    identical to the base ledger (per-node entries exist exactly for nodes
+    that sent or received at least one message, numpy scalars never leak
+    out).
+
+    Per-node budgets are *not* supported: budget enforcement must interleave
+    the budget check with every individual transmission, which is exactly
+    the per-charge Python loop this class exists to avoid.  Use the base
+    ledger for budgeted (lower-bound) experiments.
+    """
+
+    def __init__(self, num_nodes: int, per_node_budget_bits: int | None = None) -> None:
+        from repro._util.fastpath import require_numpy
+
+        np = require_numpy("ArrayLedger")
+        if per_node_budget_bits is not None:
+            raise ConfigurationError(
+                "ArrayLedger does not enforce per-node budgets; use "
+                "CommunicationLedger for budgeted experiments"
+            )
+        require_non_negative(num_nodes, "num_nodes")
+        super().__init__(None)
+        self._num_nodes = num_nodes
+        self._bits_sent = np.zeros(num_nodes, dtype=np.int64)
+        self._bits_received = np.zeros(num_nodes, dtype=np.int64)
+        self._msgs_sent = np.zeros(num_nodes, dtype=np.int64)
+        self._msgs_received = np.zeros(num_nodes, dtype=np.int64)
+        # The inherited dict table must never be consulted: observing it
+        # would silently report an empty ledger.  Poison it.
+        self._per_node = None
+
+    @property
+    def num_nodes(self) -> int:
+        return self._num_nodes
+
+    def _node_totals(self):
+        return self._bits_sent + self._bits_received
+
+    # ------------------------------------------------------------------ #
+    # Charging
+    # ------------------------------------------------------------------ #
+    def charge(
+        self,
+        sender: int,
+        receiver: int,
+        size_bits: int,
+        protocol: str = "unknown",
+    ) -> None:
+        require_non_negative(size_bits, "size_bits")
+        self._bits_sent[sender] += size_bits
+        self._msgs_sent[sender] += 1
+        self._bits_received[receiver] += size_bits
+        self._msgs_received[receiver] += 1
+        self._per_protocol_bits[protocol] += size_bits
+        self._messages += 1
+        self._total_bits += size_bits
+
+    def charge_batch(
+        self,
+        links: Sequence[tuple[int, int]],
+        sizes: Sequence[int],
+        copies: Sequence[int] | None = None,
+        protocol: str = "unknown",
+    ) -> None:
+        if not links:
+            return
+        self.charge_array(
+            _np.asarray([link[0] for link in links], dtype=_np.int64),
+            _np.asarray([link[1] for link in links], dtype=_np.int64),
+            _np.asarray(sizes, dtype=_np.int64),
+            protocol=protocol,
+            copies=None if copies is None else _np.asarray(copies, dtype=_np.int64),
+        )
+
+    def charge_array(
+        self,
+        senders,
+        receivers,
+        sizes,
+        protocol: str = "unknown",
+        copies=None,
+    ) -> None:
+        np = _np
+        senders = np.asarray(senders, dtype=np.int64)
+        receivers = np.asarray(receivers, dtype=np.int64)
+        sizes = np.asarray(sizes, dtype=np.int64)
+        if senders.size == 0:
+            # An empty batch must leave no trace, matching charge_batch.
+            return
+        if bool((sizes < 0).any()):
+            require_non_negative(int(sizes.min()), "size_bits")
+        if copies is None:
+            weights = sizes
+            messages = int(senders.size)
+            np.add.at(self._msgs_sent, senders, 1)
+            np.add.at(self._msgs_received, receivers, 1)
+        else:
+            copies = np.asarray(copies, dtype=np.int64)
+            live = copies > 0
+            if not bool(live.all()):
+                senders = senders[live]
+                receivers = receivers[live]
+                sizes = sizes[live]
+                copies = copies[live]
+            if senders.size == 0:
+                return
+            weights = sizes * copies
+            messages = int(copies.sum())
+            np.add.at(self._msgs_sent, senders, copies)
+            np.add.at(self._msgs_received, receivers, copies)
+        np.add.at(self._bits_sent, senders, weights)
+        np.add.at(self._bits_received, receivers, weights)
+        total = int(weights.sum())
+        self._per_protocol_bits[protocol] += total
+        self._messages += messages
+        self._total_bits += total
+
+    # ------------------------------------------------------------------ #
+    # Interval metering (marks)
+    # ------------------------------------------------------------------ #
+    def mark(self) -> ArrayLedgerMark:
+        mark = ArrayLedgerMark(
+            total_bits=self._total_bits,
+            messages=self._messages,
+            rounds=self._rounds,
+            node_total=self._node_totals(),
+        )
+        self._marks.append(mark)
+        return mark
+
+    def node_deltas_since(self, mark) -> dict[int, int]:
+        """Per-node bits added since ``mark`` (nodes with a non-zero delta)."""
+        deltas = self._node_totals() - mark.node_total
+        touched = _np.nonzero(deltas)[0]
+        return dict(zip(touched.tolist(), deltas[touched].tolist()))
+
+    def max_node_delta_since(self, mark) -> int:
+        deltas = self._node_totals() - mark.node_total
+        return max(0, int(deltas.max())) if deltas.size else 0
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    def traffic(self, node: int) -> NodeTraffic:
+        """A *copy* of ``node``'s counters (the base class returns the live
+        record; array columns have no per-node object to hand out)."""
+        return NodeTraffic(
+            bits_sent=int(self._bits_sent[node]),
+            bits_received=int(self._bits_received[node]),
+            messages_sent=int(self._msgs_sent[node]),
+            messages_received=int(self._msgs_received[node]),
+        )
+
+    def node_bits(self, node: int) -> int:
+        return int(self._bits_sent[node] + self._bits_received[node])
+
+    def _touched_mask(self):
+        return (self._msgs_sent + self._msgs_received) > 0
+
+    @property
+    def max_node_bits(self) -> int:
+        touched = self._touched_mask()
+        if not bool(touched.any()):
+            return 0
+        return int(self._node_totals()[touched].max())
+
+    def nodes(self) -> Iterator[int]:
+        return iter(_np.nonzero(self._touched_mask())[0].tolist())
+
+    def snapshot(self) -> LedgerSnapshot:
+        totals = self._node_totals()
+        touched = _np.nonzero(self._touched_mask())[0]
+        return LedgerSnapshot(
+            per_node_bits=dict(
+                zip(touched.tolist(), totals[touched].tolist())
+            ),
+            total_bits=self._total_bits,
+            max_node_bits=int(totals[touched].max()) if touched.size else 0,
+            messages=self._messages,
+            rounds=self._rounds,
+            per_protocol_bits=dict(self._per_protocol_bits),
+        )
+
+    def reset(self) -> None:
+        self._bits_sent[:] = 0
+        self._bits_received[:] = 0
+        self._msgs_sent[:] = 0
+        self._msgs_received[:] = 0
+        self._per_protocol_bits.clear()
+        self._messages = 0
+        self._rounds = 0
+        self._total_bits = 0
+        for mark in self._marks:
+            mark.rebase(total_bits=0, messages=0, rounds=0)
+
+    def merge(self, other: CommunicationLedger) -> None:
+        """Accumulate ``other`` — an :class:`ArrayLedger` over the same id
+        space, or a dict-backed ledger whose ids fall inside it."""
+        if isinstance(other, ArrayLedger):
+            if other._num_nodes > self._num_nodes:
+                raise ConfigurationError(
+                    f"cannot merge a {other._num_nodes}-node ArrayLedger into "
+                    f"a {self._num_nodes}-node one"
+                )
+            span = other._num_nodes
+            self._bits_sent[:span] += other._bits_sent
+            self._bits_received[:span] += other._bits_received
+            self._msgs_sent[:span] += other._msgs_sent
+            self._msgs_received[:span] += other._msgs_received
+        else:
+            for node, traffic in other._per_node.items():
+                self._bits_sent[node] += traffic.bits_sent
+                self._bits_received[node] += traffic.bits_received
+                self._msgs_sent[node] += traffic.messages_sent
+                self._msgs_received[node] += traffic.messages_received
+        for protocol, bits in other._per_protocol_bits.items():
+            self._per_protocol_bits[protocol] += bits
+        self._messages += other._messages
+        self._rounds += other._rounds
+        self._total_bits += other._total_bits
+
+    def __repr__(self) -> str:  # pragma: no cover - debug convenience
+        return (
+            f"ArrayLedger(nodes={self._num_nodes}, "
             f"total_bits={self._total_bits}, messages={self._messages}, "
             f"rounds={self._rounds})"
         )

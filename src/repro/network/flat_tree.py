@@ -6,7 +6,7 @@ but expensive to traverse: every protocol walk re-sorts the node set by depth
 and chases parent/children pointers through hash lookups.  :class:`FlatTree`
 freezes one spanning tree into contiguous arrays indexed by a *canonical
 index* — the node's position in the top-down level order — so the batched
-protocol implementations can sweep whole levels with list indexing only:
+protocol implementations can sweep whole levels with array indexing only:
 
 * ``parent[i]`` is the canonical index of node ``i``'s parent (``-1`` at the
   root, which always has canonical index 0),
@@ -25,30 +25,53 @@ protocol implementations can sweep whole levels with list indexing only:
   to ``SensorNetwork.send_batch`` while repair-heavy runs that never sweep
   the full tree do not pay for them.
 
+**Representation.**  When numpy is installed (the ``fast`` extra) the
+structural arrays — ``parent``, ``depth``, ``child_start``, ``child_end``,
+``child_index``, ``bottom_up`` — are contiguous ``int64`` buffers, which is
+what lets the vectorized execution path sweep a million-node level as one
+array expression.  Without numpy they are plain Python lists with identical
+contents (:mod:`repro._util.fastpath` warns once per feature on fallback).
+Everything that crosses back into id-keyed code — ``node_ids``,
+``level_spans``, ``up_links``/``down_links``, :meth:`parent_id` — is always
+built from Python ints, so ledgers, radios and traces never see a numpy
+scalar regardless of representation.  The per-edge reference path keeps
+consuming those id-level views, which is how the randomized ledger
+cross-checks stay bit-for-bit meaningful.
+
 The representation is immutable by convention: it is built once per spanning
 tree (``SensorNetwork.flat_tree`` caches it and rebuilds only when the tree
-object changes) and shared by every batched traversal.  Fault repair is the
-one producer of *slightly different* trees at high frequency, so it does not
-rebuild from scratch: :meth:`FlatTree.rewire` re-spans the arrays around a
-set of pointer flips, removals and insertions in one linear pass — no
-re-validation, no depth sort — and the repaired network installs the result
-via :meth:`~repro.network.SensorNetwork.set_tree`.
+object changes) and shared by every batched traversal.  Because instances
+are immutable, the lazy ``up_links``/``down_links`` caches live on the
+instance: :meth:`rewire` returns a *new* ``FlatTree`` with both caches
+unset, so a rewire can never serve stale link lists to a subsequent sweep
+(``tests/test_vectorized.py`` pins this with a rewire-then-sweep regression
+test).  Fault repair is the one producer of *slightly different* trees at
+high frequency, so it does not rebuild from scratch: :meth:`FlatTree.rewire`
+re-spans the arrays around a set of pointer flips, removals and insertions
+in one linear pass — no re-validation, no depth sort — and the repaired
+network installs the result via :meth:`~repro.network.SensorNetwork.set_tree`.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Mapping
+from typing import Iterable, Iterator, Mapping, Sequence
 
-from repro.exceptions import ConfigurationError
+from repro._util.fastpath import np as _np
+from repro.exceptions import ConfigurationError, TopologyError
 from repro.network.spanning_tree import SpanningTree
-
-try:  # optional acceleration; every public array stays a plain Python list
-    import numpy as _np
-except ImportError:  # pragma: no cover - the test-suite ships with numpy
-    _np = None
 
 #: Below this size the vectorised re-span costs more than it saves.
 _NUMPY_REWIRE_MIN_NODES = 512
+
+#: Structural array slots, in canonical order (used by ``to_lists``).
+_ARRAY_SLOTS = (
+    "parent",
+    "depth",
+    "child_start",
+    "child_end",
+    "child_index",
+    "bottom_up",
+)
 
 
 class FlatTree:
@@ -59,7 +82,6 @@ class FlatTree:
         "num_nodes",
         "height",
         "node_ids",
-        "index",
         "parent",
         "depth",
         "child_start",
@@ -67,6 +89,8 @@ class FlatTree:
         "child_index",
         "bottom_up",
         "level_spans",
+        "_index",
+        "_ids_array",
         "_up_links",
         "_down_links",
     )
@@ -98,20 +122,90 @@ class FlatTree:
             level_spans.append((start, end))
             start = end
 
-        self.root_id = tree.root
-        self.num_nodes = num_nodes
-        self.height = height
-        self.node_ids = order
-        self.index = index
+        bottom_up = [index[node] for node in tree.nodes_bottom_up()]
+        self._install(
+            root_id=tree.root,
+            node_ids=order,
+            parent=parent,
+            depth=depth,
+            child_start=child_start,
+            child_end=child_end,
+            child_index=child_index,
+            bottom_up=bottom_up,
+            level_spans=level_spans,
+            index=index,
+        )
+
+    def _install(
+        self,
+        root_id: int,
+        node_ids: list[int],
+        parent,
+        depth,
+        child_start,
+        child_end,
+        child_index,
+        bottom_up,
+        level_spans: list[tuple[int, int]],
+        index: dict[int, int] | None,
+    ) -> None:
+        """Adopt the structural arrays, promoting them to int64 buffers.
+
+        numpy arrays are the primary representation when numpy is available;
+        the pure-Python fallback keeps the same contents as lists.  Inputs
+        may be lists or arrays — whichever the producing code path built.
+        """
+        self.root_id = root_id
+        self.num_nodes = len(node_ids)
+        self.height = len(level_spans) - 1 if level_spans else 0
+        self.node_ids = node_ids
+        self.level_spans = level_spans
+        if _np is not None:
+            parent = _np.ascontiguousarray(parent, dtype=_np.int64)
+            depth = _np.ascontiguousarray(depth, dtype=_np.int64)
+            child_start = _np.ascontiguousarray(child_start, dtype=_np.int64)
+            child_end = _np.ascontiguousarray(child_end, dtype=_np.int64)
+            child_index = _np.ascontiguousarray(child_index, dtype=_np.int64)
+            bottom_up = _np.ascontiguousarray(bottom_up, dtype=_np.int64)
         self.parent = parent
         self.depth = depth
         self.child_start = child_start
         self.child_end = child_end
         self.child_index = child_index
-        self.bottom_up = [index[node] for node in tree.nodes_bottom_up()]
-        self.level_spans = level_spans
+        self.bottom_up = bottom_up
+        self._index = index
+        self._ids_array = None
         self._up_links = None
         self._down_links = None
+
+    # ------------------------------------------------------------------ #
+    # Derived views (lazy, immutable once built)
+    # ------------------------------------------------------------------ #
+    @property
+    def index(self) -> dict[int, int]:
+        """Node id → canonical position.  Built lazily: the vectorized path
+        never touches it, and at a million nodes the dict alone costs more
+        to build than a whole fused epoch."""
+        if self._index is None:
+            self._index = {
+                node: position for position, node in enumerate(self.node_ids)
+            }
+        return self._index
+
+    @property
+    def ids_array(self):
+        """``node_ids`` as an int64 buffer (numpy mode only).
+
+        The vectorized kernels use it to translate canonical positions to
+        node ids wholesale (``ids_array[positions]``) when charging ledgers.
+        """
+        if self._ids_array is None:
+            if _np is None:
+                raise ConfigurationError(
+                    "FlatTree.ids_array requires numpy (the 'fast' extra)"
+                )
+            self._ids_array = _np.asarray(self.node_ids, dtype=_np.int64)
+        return self._ids_array
 
     @property
     def up_links(self) -> list[tuple[int, int]]:
@@ -119,31 +213,49 @@ class FlatTree:
 
         Tree edges are static, so the link sequence is computed once on
         first use and shared by every traversal instead of rebuilt per
-        protocol run.
+        protocol run.  Always plain ``(int, int)`` tuples — this is the
+        id-level view the per-edge reference path and the radio models
+        consume.
         """
         if self._up_links is None:
-            order = self.node_ids
-            parent = self.parent
-            self._up_links = [
-                (order[position], order[parent[position]])
-                for position in self.bottom_up
-                if parent[position] >= 0
-            ]
+            if _np is not None and self.num_nodes > 1:
+                ids = self.ids_array
+                positions = self.bottom_up[self.parent[self.bottom_up] >= 0]
+                senders = ids[positions].tolist()
+                receivers = ids[self.parent[positions]].tolist()
+                self._up_links = list(zip(senders, receivers))
+            else:
+                order = self.node_ids
+                parent = self.parent
+                self._up_links = [
+                    (order[position], order[parent[position]])
+                    for position in self.bottom_up
+                    if parent[position] >= 0
+                ]
         return self._up_links
 
     @property
     def down_links(self) -> list[tuple[int, int]]:
         """Every parent→child edge, in the order the top-down sweep sends."""
         if self._down_links is None:
-            order = self.node_ids
-            child_start = self.child_start
-            child_end = self.child_end
-            child_index = self.child_index
-            self._down_links = [
-                (node, order[child])
-                for position, node in enumerate(order)
-                for child in child_index[child_start[position] : child_end[position]]
-            ]
+            if _np is not None and self.num_nodes > 1:
+                ids = self.ids_array
+                counts = self.child_end - self.child_start
+                senders = ids[_np.repeat(
+                    _np.arange(self.num_nodes, dtype=_np.int64), counts
+                )].tolist()
+                receivers = ids[self.child_index].tolist()
+                self._down_links = list(zip(senders, receivers))
+            else:
+                order = self.node_ids
+                child_start = self.child_start
+                child_end = self.child_end
+                child_index = self.child_index
+                self._down_links = [
+                    (node, order[child])
+                    for position, node in enumerate(order)
+                    for child in child_index[child_start[position] : child_end[position]]
+                ]
         return self._down_links
 
     @classmethod
@@ -158,6 +270,93 @@ class FlatTree:
         """
         tree.check_invariants()
         return cls(tree)
+
+    @classmethod
+    def from_arrays(cls, parent_ids: Sequence[int], root_id: int = 0) -> "FlatTree":
+        """Build a flat tree directly from a parent-id array, no SpanningTree.
+
+        ``parent_ids[i]`` is the parent *id* of node ``i`` (ids are the dense
+        range ``0..n-1``), ``-1`` exactly at ``root_id``.  This is the
+        million-node constructor: it never materialises per-node dicts, so a
+        1M-node balanced tree flattens in milliseconds instead of the seconds
+        a ``SpanningTree`` round-trip costs.  Depths are derived by pointer
+        doubling-style waves, which also catches cycles (no convergence
+        within ``n`` levels raises :class:`~repro.exceptions.TopologyError`).
+
+        Requires numpy; use :meth:`from_spanning_tree` on the pure-Python
+        fallback.
+        """
+        from repro._util.fastpath import require_numpy
+
+        np = require_numpy("FlatTree.from_arrays")
+        parents = np.ascontiguousarray(parent_ids, dtype=np.int64)
+        num_nodes = int(parents.shape[0])
+        if num_nodes == 0:
+            raise TopologyError("cannot build a FlatTree over zero nodes")
+        if not 0 <= root_id < num_nodes or parents[root_id] != -1:
+            raise TopologyError(
+                f"root {root_id} must be in range and have parent -1"
+            )
+        if int((parents == -1).sum()) != 1:
+            raise TopologyError("exactly one node (the root) may have parent -1")
+        if ((parents < -1) | (parents >= num_nodes)).any():
+            raise TopologyError("parent ids out of range")
+
+        # Depth by pointer doubling: ``hop[i]`` is an ancestor of ``i`` and
+        # ``depth_of_id[i]`` the hop count to it; squaring the hop pointer
+        # each round grounds every node at the root in O(log height) whole-
+        # array passes.  A cycle never grounds and is caught by the bound.
+        ids = np.arange(num_nodes, dtype=np.int64)
+        depth_of_id = np.where(ids == root_id, 0, 1).astype(np.int64)
+        hop = parents.copy()
+        hop[root_id] = root_id
+        for _ in range(num_nodes.bit_length() + 2):
+            if bool((hop == root_id).all()):
+                break
+            depth_of_id = depth_of_id + depth_of_id[hop]
+            hop = hop[hop]
+        else:
+            raise TopologyError("parent pointers do not reach the root (cycle?)")
+
+        order = np.lexsort((np.arange(num_nodes, dtype=np.int64), depth_of_id))
+        depth = depth_of_id[order]
+        pos_of_id = np.empty(num_nodes, dtype=np.int64)
+        pos_of_id[order] = np.arange(num_nodes, dtype=np.int64)
+        parent = np.where(
+            parents[order] >= 0, pos_of_id[parents[order]], -1
+        ).astype(np.int64)
+
+        height = int(depth[-1])
+        bounds = np.searchsorted(depth, np.arange(height + 2, dtype=np.int64))
+        level_spans = [
+            (int(bounds[level]), int(bounds[level + 1]))
+            for level in range(height + 1)
+        ]
+        child_positions = np.argsort(parent[1:], kind="stable") + 1
+        child_counts = np.bincount(parent[1:], minlength=num_nodes)
+        child_end = np.cumsum(child_counts)
+        child_start = child_end - child_counts
+        bottom_up = np.concatenate(
+            [
+                np.arange(start, end, dtype=np.int64)
+                for start, end in reversed(level_spans)
+            ]
+        )
+
+        flat = object.__new__(cls)
+        flat._install(
+            root_id=root_id,
+            node_ids=order.tolist(),
+            parent=parent,
+            depth=depth,
+            child_start=child_start,
+            child_end=child_end,
+            child_index=child_positions,
+            bottom_up=bottom_up,
+            level_spans=level_spans,
+            index=None,
+        )
+        return flat
 
     # ------------------------------------------------------------------ #
     # Incremental re-span
@@ -183,7 +382,8 @@ class FlatTree:
         insertions, so the result is *identical* to
         ``FlatTree.from_spanning_tree`` on the patched tree — one linear
         pass, no depth sort, no invariant re-validation.  The root can be
-        neither removed nor reparented.
+        neither removed nor reparented.  The result is a *new* ``FlatTree``
+        whose ``up_links``/``down_links`` caches start unset.
         """
         reparented = {} if reparented is None else reparented
         depths = {} if depths is None else depths
@@ -312,20 +512,18 @@ class FlatTree:
             bottom_up.extend(range(start, end))
 
         rewired = object.__new__(FlatTree)
-        rewired.root_id = self.root_id
-        rewired.num_nodes = num_nodes
-        rewired.height = height
-        rewired.node_ids = order
-        rewired.index = index
-        rewired.parent = parent
-        rewired.depth = depth
-        rewired.child_start = child_start
-        rewired.child_end = child_end
-        rewired.child_index = child_index
-        rewired.bottom_up = bottom_up
-        rewired.level_spans = level_spans
-        rewired._up_links = None
-        rewired._down_links = None
+        rewired._install(
+            root_id=self.root_id,
+            node_ids=order,
+            parent=parent,
+            depth=depth,
+            child_start=child_start,
+            child_end=child_end,
+            child_index=child_index,
+            bottom_up=bottom_up,
+            level_spans=level_spans,
+            index=index,
+        )
         return rewired
 
     def _rewire_numpy(
@@ -334,17 +532,13 @@ class FlatTree:
         reparented: Mapping[int, int],
         insertions: dict[int, list[int]],
     ) -> "FlatTree":
-        """Vectorised re-span; produces exactly the arrays of the pure path.
-
-        numpy stays an internal accelerator: every slot is converted back to
-        a plain Python list, so nothing downstream ever sees a numpy scalar.
-        """
+        """Vectorised re-span; produces exactly the arrays of the pure path."""
         np = _np
         old_order = self.node_ids
         old_parent = self.parent
         old_index = self.index
         old_spans = self.level_spans
-        old_order_np = np.asarray(old_order, dtype=np.int64)
+        old_order_np = self.ids_array
         old_parent_np = np.asarray(old_parent, dtype=np.int64)
 
         keep = np.ones(self.num_nodes, dtype=bool)
@@ -431,28 +625,31 @@ class FlatTree:
         )
 
         rewired = object.__new__(FlatTree)
-        rewired.root_id = self.root_id
-        rewired.num_nodes = num_nodes
-        rewired.height = len(level_spans) - 1
-        rewired.node_ids = order_list
-        rewired.index = index
-        rewired.parent = parent_np.tolist()
-        rewired.depth = depth_np.tolist()
-        rewired.child_start = child_start_np.tolist()
-        rewired.child_end = child_end_np.tolist()
-        rewired.child_index = child_positions.tolist()
-        rewired.bottom_up = bottom_up_np.tolist()
-        rewired.level_spans = level_spans
-        rewired._up_links = None
-        rewired._down_links = None
+        rewired._install(
+            root_id=self.root_id,
+            node_ids=order_list,
+            parent=parent_np,
+            depth=depth_np,
+            child_start=child_start_np,
+            child_end=child_end_np,
+            child_index=child_positions,
+            bottom_up=bottom_up_np,
+            level_spans=level_spans,
+            index=index,
+        )
         return rewired
 
     # ------------------------------------------------------------------ #
     # Convenience accessors (traversals index the arrays directly)
     # ------------------------------------------------------------------ #
     def children_of(self, position: int) -> list[int]:
-        """Canonical indices of the children of the node at ``position``."""
-        return self.child_index[self.child_start[position] : self.child_end[position]]
+        """Canonical indices of the children of the node at ``position``.
+
+        Always a plain list of Python ints (hot paths slice ``child_index``
+        directly); iteration order matches ``SpanningTree.children``.
+        """
+        span = self.child_index[self.child_start[position] : self.child_end[position]]
+        return span.tolist() if hasattr(span, "tolist") else span
 
     def parent_id(self, node_id: int) -> int | None:
         """The parent *node id* of ``node_id`` (``None`` at the root)."""
@@ -467,6 +664,22 @@ class FlatTree:
     def nodes_top_down(self) -> list[int]:
         """Node ids in the same order as ``SpanningTree.nodes_top_down``."""
         return list(self.node_ids)
+
+    def to_lists(self) -> dict[str, list]:
+        """Every structural array as a plain Python list, keyed by slot name.
+
+        Representation-independent view for equality assertions: two flat
+        trees describe the same tree iff their ``to_lists()`` match, whether
+        each side is numpy-backed or pure Python.
+        """
+        arrays: dict[str, list] = {
+            "node_ids": list(self.node_ids),
+            "level_spans": list(self.level_spans),
+        }
+        for slot in _ARRAY_SLOTS:
+            value = getattr(self, slot)
+            arrays[slot] = value.tolist() if hasattr(value, "tolist") else list(value)
+        return arrays
 
     def __repr__(self) -> str:  # pragma: no cover - debug convenience
         return (

@@ -54,7 +54,15 @@ from repro.network.topology import build_topology
 from repro.telemetry.recorder import NULL_RECORDER, TelemetryRecorder, as_recorder
 
 #: Valid values of :attr:`SensorNetwork.execution`.
-EXECUTION_MODES = ("batched", "per-edge")
+#:
+#: ``"batched"`` and ``"per-edge"`` select the charging path of the generic
+#: tree protocols.  ``"vectorized"`` and ``"sharded"`` additionally make the
+#: streaming layer run its fused numpy epoch pipeline
+#: (:class:`repro.streaming.vector_engine.VectorStreamEngine`) — single
+#: process or subtree-sharded multiprocessing respectively; generic one-shot
+#: protocols treat both exactly like ``"batched"``, so every mode stays
+#: bit-for-bit ledger-identical.
+EXECUTION_MODES = ("batched", "per-edge", "vectorized", "sharded")
 
 
 class SensorNetwork:
@@ -163,12 +171,15 @@ class SensorNetwork:
 
     @property
     def execution(self) -> str:
-        """Which charging path tree protocols use: ``"batched"`` (default) or
-        ``"per-edge"``.
+        """Which execution path protocols use — one of :data:`EXECUTION_MODES`.
 
-        Both paths produce bit-for-bit identical ledgers (enforced by the
-        equivalence test-suite); the per-edge path exists as the simple
-        reference implementation and for wall-clock comparisons.
+        ``"batched"`` (default) charges whole sweeps at once; ``"per-edge"``
+        is the simple reference implementation.  ``"vectorized"`` and
+        ``"sharded"`` opt the streaming layer into the fused numpy epoch
+        pipeline (single-process, or subtree-sharded worker processes);
+        generic tree protocols treat them like ``"batched"``.  Every mode
+        produces bit-for-bit identical ledgers (enforced by the equivalence
+        test-suites).
         """
         return self._execution
 

@@ -53,9 +53,12 @@ from repro.streaming.summaries import (
     StreamSummary,
 )
 from repro.streaming.trace import EpochRecord, StreamingTrace
+from repro.streaming.vector_engine import VectorStreamEngine, engine_for
 
 __all__ = [
     "ContinuousQueryEngine",
+    "VectorStreamEngine",
+    "engine_for",
     "RecomputeEngine",
     "run_stream",
     "StandingQuery",

@@ -24,6 +24,16 @@ its slack, so the root answer is within ``ε · scale`` of the unsuppressed
 answer at every epoch — the same additive guarantee whether the stream
 drifts, bursts or churns.  Steady-state communication is therefore
 proportional to *change*: an epoch in which nothing moves costs zero bits.
+
+This module is the *reference* implementation: per-node Python state, one
+``decide`` callback per active node, any summary type.  For count-valued
+queries at production scale, :mod:`repro.streaming.vector_engine` provides
+:class:`~repro.streaming.vector_engine.VectorStreamEngine`, a drop-in
+subclass that runs the same epoch as whole-array level sweeps (and, under
+``execution="sharded"``, fans subtrees out to worker processes) while
+staying bit-for-bit ledger-identical;
+:func:`~repro.streaming.vector_engine.engine_for` picks the right engine
+for a network's execution mode.
 """
 
 from __future__ import annotations

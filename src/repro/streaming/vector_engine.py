@@ -1,0 +1,527 @@
+"""Vectorized and sharded execution of the continuous-query engine.
+
+:class:`VectorStreamEngine` is a drop-in :class:`ContinuousQueryEngine`
+for *count-valued* standing queries (COUNT / COUNTP): same constructor,
+same ``register`` / ``advance_epoch`` / ``apply_repair`` /
+``apply_root_change`` surface, same trace records — but the per-(node,
+query) dict state is replaced by contiguous numpy columns aligned to the
+network's :class:`~repro.network.FlatTree`, and the per-epoch sweep runs as
+whole-array level passes (:mod:`repro.streaming.vector_kernels`) instead of
+per-node ``decide`` callbacks.
+
+Equivalence contract (enforced by the randomized suite in
+``tests/test_vectorized.py``): for any topology, radio model, fault script
+and update stream, the ledger snapshot and the per-epoch answers are
+bit-for-bit identical to the batched and per-edge reference paths.  The
+ingredients:
+
+* transmissions still go through :meth:`SensorNetwork.send_batch`, one call
+  per tree level, in ascending node-id order within the level — so radio
+  randomness is consumed in exactly the reference order and lossy-radio
+  retries charge identically;
+* the suppression / delta arithmetic is the count-summary specialization of
+  the engine's ``decide`` rule, computed with exact vectorized varint
+  widths;
+* repairs re-synchronize the columns with the same eviction rules the
+  reference applies to its dicts (:meth:`apply_repair`,
+  :meth:`apply_root_change`).
+
+When ``network.execution == "sharded"`` the sweep fans out over subtree
+shards (:mod:`repro.network.sharding`): each worker process runs the same
+kernel over its shard slice against a private ledger, and the parent folds
+the results back with **one** ledger merge per query per epoch — spans
+``shard.sweep`` and ``shard.merge`` record the fan-out in the telemetry
+phase breakdown.  Sharded execution requires perfect links
+(:class:`~repro.network.radio.ReliableRadio`): a seeded lossy radio is a
+single RNG stream, which cannot be split across processes and stay
+bit-identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro._util.fastpath import np, require_numpy
+from repro.exceptions import ConfigurationError
+from repro.network.energy import EnergyModel
+from repro.network.radio import ReliableRadio
+from repro.network.simulator import SensorNetwork
+from repro.protocols.broadcast import broadcast
+from repro.protocols.epoch_convergecast import EpochStats
+from repro.streaming.engine import ContinuousQueryEngine
+from repro.streaming.queries import REGISTRATION_BITS, StandingQuery
+from repro.streaming.summaries import CountSummary
+from repro.streaming.vector_kernels import SweepState, sweep_levels
+
+
+@dataclass
+class _VectorQueryState:
+    """Per-query engine state: sweep columns plus the reference bookkeeping.
+
+    Field names ``query`` / ``initialized`` / ``scale`` match the reference
+    ``_QueryState`` so the inherited slack, answer-bound and introspection
+    helpers work unchanged.
+    """
+
+    query: StandingQuery
+    state: SweepState
+    tracked: "np.ndarray"
+    initialized: bool = False
+    scale: float = 0.0
+
+
+@dataclass
+class _EvictionLog:
+    """Cache values of rows dropped by a re-alignment, keyed by node id.
+
+    The reference engine stores a child's cached summary *in the parent's
+    dict*, so it survives the child's removal until ``child_losses`` evicts
+    it.  The vectorized engine stores it in the child's row; when a repair
+    drops that row before the eviction runs, the value is parked here.
+    """
+
+    by_query: dict[str, dict[int, int]] = field(default_factory=dict)
+
+
+class VectorStreamEngine(ContinuousQueryEngine):
+    """Numpy-columnar continuous-query engine for count-valued queries."""
+
+    def __init__(
+        self,
+        network: SensorNetwork,
+        epsilon: float = 0.1,
+        energy_model: EnergyModel | None = None,
+        *,
+        shards: int = 4,
+        shard_processes: int | None = None,
+    ) -> None:
+        require_numpy("VectorStreamEngine")
+        super().__init__(network, epsilon, energy_model)
+        self._flat = None
+        self._pos_table = None
+        self._dropped = _EvictionLog()
+        self._shards = shards
+        self._shard_processes = shard_processes
+        self._shard_runner = None
+        self._realign()
+
+    # ------------------------------------------------------------------ #
+    # Alignment with the (possibly repaired) flat tree
+    # ------------------------------------------------------------------ #
+    def _realign(self) -> None:
+        """Re-key every query's columns to the network's current flat tree.
+
+        A pure id-join: surviving nodes carry their rows, nodes that left
+        the tree are dropped (their delivered-cache values parked in the
+        eviction log), nodes new to the tree get fresh *untracked* rows for
+        :meth:`apply_repair` to activate.  No-op while the flat tree object
+        is unchanged, so steady-state epochs never pay for it.
+        """
+        flat = self.network.flat_tree
+        if flat is self._flat:
+            return
+        ids = flat.ids_array
+        if ids.size and int(ids.min()) < 0:
+            raise ConfigurationError(
+                "the vectorized engine requires non-negative node ids"
+            )
+        max_id = int(ids.max()) if ids.size else 0
+        table = np.full(max_id + 1, -1, dtype=np.int64)
+        table[ids] = np.arange(flat.num_nodes, dtype=np.int64)
+
+        if self._flat is not None and self._queries:
+            old_table = self._pos_table
+            old_ids = self._flat.ids_array
+            within = ids < old_table.size
+            old_pos = np.full(flat.num_nodes, -1, dtype=np.int64)
+            old_pos[within] = old_table[ids[within]]
+            carried = old_pos >= 0
+            carried_from = old_pos[carried]
+            surviving = np.zeros(self._flat.num_nodes, dtype=bool)
+            surviving[carried_from] = True
+            dropped_pos = np.flatnonzero(~surviving)
+            for name, state in self._queries.items():
+                old = state.state
+                if dropped_pos.size:
+                    parked = self._dropped.by_query.setdefault(name, {})
+                    cached = dropped_pos[old.has_delivered[dropped_pos]]
+                    for position in cached.tolist():
+                        parked[int(old_ids[position])] = int(
+                            old.last_delivered[position]
+                        )
+                fresh = SweepState.zeros(flat.num_nodes)
+                for column in SweepState.COLUMNS:
+                    getattr(fresh, column)[carried] = getattr(old, column)[
+                        carried_from
+                    ]
+                tracked = np.zeros(flat.num_nodes, dtype=bool)
+                tracked[carried] = state.tracked[carried_from]
+                state.state = fresh
+                state.tracked = tracked
+        self._flat = flat
+        self._pos_table = table
+        self._shard_runner = None  # shard plans are per-tree
+
+    def _pos_of(self, node_id: int) -> int:
+        if 0 <= node_id < self._pos_table.size:
+            return int(self._pos_table[node_id])
+        return -1
+
+    # ------------------------------------------------------------------ #
+    # Registration
+    # ------------------------------------------------------------------ #
+    def register(self, name: str, query: StandingQuery, announce: bool = True) -> None:
+        if name in self._queries:
+            raise ConfigurationError(f"query {name!r} is already registered")
+        try:
+            probe = query.local_summary([])
+        except Exception:  # pragma: no cover - exotic custom queries
+            probe = None
+        if not isinstance(probe, CountSummary):
+            raise ConfigurationError(
+                f"{type(query).__name__} is not count-valued; the vectorized "
+                "engine supports COUNT / COUNTP — register it on "
+                "ContinuousQueryEngine instead"
+            )
+        self._realign()
+        num = self._flat.num_nodes
+        self._queries[name] = _VectorQueryState(
+            query=query,
+            state=SweepState.zeros(num),
+            tracked=np.ones(num, dtype=bool),
+        )
+        if announce:
+            broadcast(
+                self.network,
+                {"register": name, "kind": query.kind},
+                REGISTRATION_BITS,
+                protocol=f"{self.protocol_prefix}:{name}:register",
+            )
+
+    # ------------------------------------------------------------------ #
+    # Fault recovery
+    # ------------------------------------------------------------------ #
+    def apply_root_change(self, election) -> None:
+        if election is None:
+            return
+        self._realign()
+        new_root = int(election.new_root)
+        path = tuple(int(member) for member in election.reversed_path)
+        dirty: set[int] = set()
+        for name, state in self._queries.items():
+            columns = state.state
+            parked = self._dropped.by_query.get(name, {})
+            previous: int | None = None
+            for member in path:
+                position = self._pos_of(member)
+                if position < 0:
+                    previous = member
+                    continue
+                state.tracked[position] = True
+                if previous is not None:
+                    self._evict_child_cache(columns, parked, position, previous)
+                columns.transmitted[position] = 0
+                columns.has_transmitted[position] = False
+                dirty.add(member)
+                previous = member
+            # The deepest path member's old parent was the dead root: its
+            # cache died with it, so no one holds a copy any more.
+            if path:
+                last = self._pos_of(path[-1])
+                if last >= 0:
+                    columns.last_delivered[last] = 0
+                    columns.has_delivered[last] = False
+            root_position = self._pos_of(new_root)
+            if root_position >= 0:
+                state.tracked[root_position] = True
+        dirty.add(new_root)
+        self._pending_dirty |= dirty
+
+    def apply_repair(self, result) -> None:
+        if result is None or not getattr(result, "changed_anything", True):
+            return
+        self._realign()
+        tree_nodes = self.network.tree.parent
+        num = self._flat.num_nodes
+        if result.rebuilt:
+            for state in self._queries.values():
+                state.state = SweepState.zeros(num)
+                state.tracked = np.ones(num, dtype=bool)
+                state.initialized = False
+            self._dropped.by_query.clear()
+            self._pending_dirty = set(tree_nodes)
+            return
+        dirty: set[int] = set()
+        ids = self._flat.node_ids
+        for name, state in self._queries.items():
+            columns = state.state
+            parked = self._dropped.by_query.get(name, {})
+            for parent_id, child_id in result.child_losses:
+                parent_pos = self._pos_of(int(parent_id))
+                if parent_pos < 0 or not state.tracked[parent_pos]:
+                    continue
+                self._evict_child_cache(columns, parked, parent_pos, int(child_id))
+                dirty.add(int(parent_id))
+            for node_id in result.parent_changed:
+                position = self._pos_of(int(node_id))
+                if position < 0:
+                    continue
+                state.tracked[position] = True
+                columns.transmitted[position] = 0
+                columns.has_transmitted[position] = False
+                # A reparented node's old cache holder either evicted the
+                # entry above (child_losses) or left the tree with it; its
+                # next delivery must be cached whole by the new parent.
+                columns.last_delivered[position] = 0
+                columns.has_delivered[position] = False
+                dirty.add(int(node_id))
+            # Nodes re-entering the tree after an earlier removal: fresh
+            # rows (realign left them untracked zeros) plus a full resync.
+            fresh = np.flatnonzero(~state.tracked)
+            if fresh.size:
+                state.tracked[fresh] = True
+                for position in fresh.tolist():
+                    dirty.add(int(ids[position]))
+        self._pending_dirty |= {node for node in dirty if node in tree_nodes}
+
+    def _evict_child_cache(
+        self, columns: SweepState, parked: dict[int, int], parent_pos: int, child_id: int
+    ) -> None:
+        """Drop the parent's cached copy of ``child_id``'s last delivery."""
+        child_pos = self._pos_of(child_id)
+        if child_pos >= 0 and columns.has_delivered[child_pos]:
+            columns.child_sum[parent_pos] -= columns.last_delivered[child_pos]
+            columns.last_delivered[child_pos] = 0
+            columns.has_delivered[child_pos] = False
+        elif child_id in parked:
+            columns.child_sum[parent_pos] -= parked.pop(child_id)
+
+    # ------------------------------------------------------------------ #
+    # Epoch internals (the inherited advance_epoch drives these)
+    # ------------------------------------------------------------------ #
+    def _refresh_local_summaries(self, state, updates) -> set[int]:
+        self._realign()
+        columns = state.state
+        query = state.query
+        network = self.network
+        if state.initialized:
+            candidates = [int(node_id) for node_id in updates]
+        else:
+            candidates = [
+                int(node_id)
+                for node_id in self._flat.ids_array[state.tracked].tolist()
+            ]
+            state.initialized = True
+        dirty: set[int] = set()
+        for node_id in candidates:
+            position = self._pos_of(node_id)
+            if position < 0 or not state.tracked[position]:
+                continue
+            new_local = query.local_summary(network.node(node_id).items).count
+            if not columns.has_local[position] or int(
+                columns.local[position]
+            ) != int(new_local):
+                columns.local[position] = new_local
+                columns.has_local[position] = True
+                dirty.add(node_id)
+        return dirty
+
+    def _run_query_epoch(self, name: str, state, dirty: set[int]) -> EpochStats:
+        if not dirty:
+            return EpochStats(rounds=0, activated=0, transmissions=0, suppressions=0)
+        flat = self._flat
+        columns = state.state
+        positions = self._pos_table[
+            np.fromiter((int(node) for node in dirty), dtype=np.int64, count=len(dirty))
+        ]
+        # Pending-dirty nodes created by a repair have no local summary yet;
+        # compute it lazily from their items, as the reference decide() does.
+        missing = positions[~columns.has_local[positions]]
+        node_ids = flat.node_ids
+        for position in missing.tolist():
+            node_id = node_ids[position]
+            columns.local[position] = state.query.local_summary(
+                self.network.node(node_id).items
+            ).count
+            columns.has_local[position] = True
+
+        active = np.zeros(flat.num_nodes, dtype=bool)
+        active[positions] = True
+        deepest = int(flat.depth[positions].max())
+        slack = self._slack(state)
+        protocol = f"{self.protocol_prefix}:{name}"
+        if self.network.execution == "sharded":
+            stats = self._run_sharded(
+                columns, active, deepest, slack, protocol
+            )
+        else:
+            stats = self._run_inprocess(
+                columns, active, deepest, slack, protocol
+            )
+        telemetry = self.network.telemetry
+        if telemetry.enabled:
+            telemetry.count(
+                "sweep.epochs", 1, protocol=protocol, path=self.network.execution
+            )
+            telemetry.count("sweep.rounds", stats.rounds, protocol=protocol)
+            telemetry.count("sweep.activated", stats.activated, protocol=protocol)
+            telemetry.count(
+                "sweep.transmissions", stats.transmissions, protocol=protocol
+            )
+            telemetry.count(
+                "sweep.suppressions", stats.suppressions, protocol=protocol
+            )
+        return stats
+
+    def _run_inprocess(
+        self, columns: SweepState, active, deepest: int, slack: float, protocol: str
+    ) -> EpochStats:
+        flat = self._flat
+        node_ids = flat.node_ids
+        network = self.network
+
+        def charge(tx_pos, tx_par, sizes):
+            links = [
+                (node_ids[sender], node_ids[receiver])
+                for sender, receiver in zip(tx_pos.tolist(), tx_par.tolist())
+            ]
+            copies = network.send_batch(
+                links, sizes.tolist(), protocol=protocol, require_edge=False
+            )
+            delivered = np.asarray(copies, dtype=np.int64) > 0
+            return None if bool(delivered.all()) else delivered
+
+        result = sweep_levels(
+            parent=flat.parent,
+            level_spans=[flat.level_spans[depth] for depth in range(deepest, -1, -1)],
+            state=columns,
+            active=active,
+            slack=slack,
+            charge=charge,
+            advance_round=network.ledger.advance_round,
+        )
+        return EpochStats(
+            rounds=deepest + 1,
+            activated=result.activated,
+            transmissions=result.transmissions,
+            suppressions=result.suppressions,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Sharded execution
+    # ------------------------------------------------------------------ #
+    def _ensure_shard_runner(self):
+        if self._shard_runner is None:
+            from repro.network.sharding import ShardRunner, build_shard_plan
+
+            plan = build_shard_plan(self._flat, self._shards)
+            if plan is not None:
+                self._shard_runner = ShardRunner(
+                    plan, processes=self._shard_processes
+                )
+        return self._shard_runner
+
+    def _run_sharded(
+        self, columns: SweepState, active, deepest: int, slack: float, protocol: str
+    ) -> EpochStats:
+        network = self.network
+        if type(network.radio) is not ReliableRadio:
+            raise ConfigurationError(
+                "sharded execution requires ReliableRadio: a seeded lossy "
+                "radio is one RNG stream and cannot be split across workers"
+            )
+        if network.ledger.per_node_budget_bits is not None:
+            raise ConfigurationError(
+                "sharded execution does not support per-node bit budgets"
+            )
+        runner = self._ensure_shard_runner()
+        if runner is None:  # degenerate tree: nothing below the root
+            return self._run_inprocess(columns, active, deepest, slack, protocol)
+
+        telemetry = network.telemetry
+        with telemetry.span("shard.sweep", shards=len(runner.plan.shards)) as span:
+            results = runner.sweep(
+                columns, active, deepest=deepest, slack=slack, protocol=protocol
+            )
+            if telemetry.enabled:
+                span.annotate(dispatched=len(results))
+        activated = transmissions = suppressions = 0
+        external_delta = 0
+        external_count = 0
+        combined = None
+        for shard, outcome in results:
+            columns.scatter(shard.positions, outcome.state)
+            active[shard.positions] = outcome.active
+            activated += outcome.result.activated
+            transmissions += outcome.result.transmissions
+            suppressions += outcome.result.suppressions
+            external_delta += outcome.result.external_delta
+            external_count += outcome.result.external_count
+            if combined is None:
+                combined = outcome.ledger
+            else:
+                combined.merge(outcome.ledger)
+        with telemetry.span("shard.merge") as span:
+            if combined is not None:
+                network.ledger.merge(combined)
+                if telemetry.enabled:
+                    span.annotate(
+                        bits=combined.total_bits, messages=combined.total_messages
+                    )
+        # The root's own turn: deliveries from shard tops landed as one
+        # summed delta; the root merges and never transmits.
+        if external_count:
+            columns.child_sum[0] += external_delta
+            active[0] = True
+        if active[0]:
+            activated += 1
+            columns.subtree_val[0] = columns.local[0] + columns.child_sum[0]
+            columns.has_subtree[0] = True
+        network.ledger.advance_round(deepest + 1)
+        return EpochStats(
+            rounds=deepest + 1,
+            activated=activated,
+            transmissions=transmissions,
+            suppressions=suppressions,
+        )
+
+    def close(self) -> None:
+        """Shut down the shard worker pool, if one was started."""
+        if self._shard_runner is not None:
+            self._shard_runner.close()
+            self._shard_runner = None
+
+    # ------------------------------------------------------------------ #
+    # Answers
+    # ------------------------------------------------------------------ #
+    def _read_answer(self, name: str, state) -> None:
+        columns = state.state
+        root_position = self._pos_of(self.network.root_id)
+        if root_position < 0 or not columns.has_subtree[root_position]:
+            return
+        summary = CountSummary(int(columns.subtree_val[root_position]))
+        self._answers[name] = state.query.answer(summary)
+        state.scale = max(state.scale, state.query.scale(summary))
+
+
+def engine_for(
+    network: SensorNetwork,
+    epsilon: float = 0.1,
+    energy_model: EnergyModel | None = None,
+    **kwargs,
+) -> ContinuousQueryEngine:
+    """The engine implementation matching ``network.execution``.
+
+    ``"vectorized"`` and ``"sharded"`` networks get a
+    :class:`VectorStreamEngine`; everything else (and any environment
+    without numpy, after a one-time fallback warning) gets the reference
+    :class:`ContinuousQueryEngine`.
+    """
+    if network.execution in ("vectorized", "sharded"):
+        if np is None:
+            from repro._util.fastpath import warn_fallback
+
+            warn_fallback("vectorized streaming execution")
+        else:
+            return VectorStreamEngine(network, epsilon, energy_model, **kwargs)
+    return ContinuousQueryEngine(network, epsilon, energy_model)
