@@ -47,7 +47,13 @@ from repro.analysis.report import format_table
 from repro.faults import FaultEngine, FaultScript, RootCrash, TreeRepair
 from repro.network.simulator import SensorNetwork
 from repro.network.topology import build_topology
-from repro.telemetry import SpanTracer
+from repro.telemetry import (
+    CostAttribution,
+    FlightRecorder,
+    SpanTracer,
+    diagnose,
+    verdict,
+)
 from repro.workloads.faults import storm_under_churn_script
 
 _ENV_SIZES = os.environ.get("REPRO_FAULT_SIZES")
@@ -68,8 +74,10 @@ def test_incremental_repair_beats_rebuild(benchmark):
     started = time.perf_counter()
     # One tracer across the sweep: the incremental arm of every size runs
     # instrumented, so the bench JSON gains the per-phase wall-clock and
-    # bit breakdown and CI archives the full span trace.
-    tracer = SpanTracer()
+    # bit breakdown and CI archives the full span trace — now with the
+    # flight recorder's causal events and the per-node attribution lines,
+    # so the CI diagnosis gate can explain any flagged epoch.
+    tracer = SpanTracer(flight=FlightRecorder(), attribution=CostAttribution())
 
     def sweep():
         return [
@@ -143,6 +151,10 @@ def test_incremental_repair_beats_rebuild(benchmark):
         assert comparison.rebuild_max_count_error <= comparison.count_error_budget
 
     headline = comparisons[-1]
+    diagnosis = diagnose(list(tracer.iter_dicts()))
+    # The storm epochs must be explainable: every flagged epoch walks back
+    # to a recorded cause (the strict CI gate re-checks this on the trace).
+    assert not diagnosis.unattributed, [a.render() for a in diagnosis.unattributed]
     emit_bench_json(
         "faults",
         n=headline.num_nodes,
@@ -155,6 +167,7 @@ def test_incremental_repair_beats_rebuild(benchmark):
             },
         },
         phases=phases_from_tracer(tracer),
+        anomaly=verdict(diagnosis),
     )
     emit_telemetry_jsonl("faults", tracer)
 

@@ -35,6 +35,7 @@ def emit_bench_json(
     bits: int,
     metrics: dict[str, dict[str, float]] | None = None,
     phases: dict[str, dict[str, float]] | None = None,
+    anomaly: dict | None = None,
 ) -> str:
     """Write (or merge into) ``BENCH_<name>.json`` for the CI perf gate.
 
@@ -49,7 +50,10 @@ def emit_bench_json(
     pipeline phase, its wall-clock and communication bits (the shape
     :func:`phases_from_tracer` produces from a
     :class:`repro.telemetry.SpanTracer`) — which ``benchmarks/report.py``
-    schema-checks and renders alongside the metric floors.
+    schema-checks and renders alongside the metric floors.  ``anomaly``
+    optionally attaches the :func:`repro.telemetry.verdict` of the run's
+    diagnosis (flagged epochs, how many had attributable cause chains),
+    schema-checked the same way.
 
     Multiple tests in one benchmark file share a file: metrics accumulate
     across the calls of the *current* pytest session (never from a stale
@@ -66,6 +70,8 @@ def emit_bench_json(
     report["metrics"].update(metrics or {})
     if phases:
         report.setdefault("phases", {}).update(phases)
+    if anomaly is not None:
+        report["anomaly"] = anomaly
     out_dir = os.environ.get("REPRO_BENCH_JSON_DIR", ".")
     os.makedirs(out_dir, exist_ok=True)
     path = os.path.join(out_dir, f"BENCH_{name}.json")

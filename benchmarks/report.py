@@ -45,7 +45,10 @@ def validate_schema(report: dict) -> list[str]:
     Required: ``name`` (str), ``n`` (int), ``wall_clock_s`` / ``bits``
     (numbers), ``metrics`` (dict of ``{"value": num, "floor": num|None}``).
     Optional: ``phases`` — the telemetry breakdown, one
-    ``{"wall_s": num, "bits": num, ...}`` entry per pipeline phase.
+    ``{"wall_s": num, "bits": num, ...}`` entry per pipeline phase —
+    and ``anomaly``, the diagnosis verdict
+    (``repro.telemetry.verdict``: ``anomalous_epochs`` list plus numeric
+    ``attributed`` / ``unattributed`` counts).
     """
     problems = []
     where = report.get("_path", "?")
@@ -83,6 +86,23 @@ def validate_schema(report: dict) -> list[str]:
                         problems.append(
                             f"{where}: phase {phase!r} lacks a numeric {field!r}"
                         )
+    anomaly = report.get("anomaly")
+    if anomaly is not None:
+        if not isinstance(anomaly, dict):
+            problems.append(f"{where}: 'anomaly' must be an object")
+        else:
+            epochs = anomaly.get("anomalous_epochs")
+            if not isinstance(epochs, list) or not all(
+                isinstance(epoch, int) for epoch in epochs
+            ):
+                problems.append(
+                    f"{where}: anomaly 'anomalous_epochs' must be a list of ints"
+                )
+            for field in ("attributed", "unattributed"):
+                if not isinstance(anomaly.get(field), int):
+                    problems.append(
+                        f"{where}: anomaly lacks a numeric {field!r}"
+                    )
     return problems
 
 
@@ -137,6 +157,14 @@ def main(argv: list[str]) -> int:
         phases = report.get("phases")
         if phases:
             print(f"{'':>12} phases: {render_phases(phases)}")
+        anomaly = report.get("anomaly")
+        if anomaly:
+            print(
+                f"{'':>12} anomaly: "
+                f"epochs {anomaly.get('anomalous_epochs', [])}, "
+                f"{anomaly.get('attributed', 0)} attributed, "
+                f"{anomaly.get('unattributed', 0)} unattributed"
+            )
 
     if failures:
         print("\nperformance regression detected:", file=sys.stderr)

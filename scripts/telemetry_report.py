@@ -24,6 +24,7 @@ runs fail loudly on an empty or mangled trace.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
@@ -141,12 +142,25 @@ def main(argv: list[str] | None = None) -> int:
         return 2
     spans: list[dict] = []
     metrics_dump: dict | None = None
-    for line in read_jsonl(path):
-        kind = line.get("type")
-        if kind == "span":
-            spans.append(line)
-        elif kind == "metrics":
-            metrics_dump = line.get("metrics")
+    lines = 0
+    try:
+        for line in read_jsonl(path):
+            lines += 1
+            kind = line.get("type")
+            if kind == "span":
+                spans.append(line)
+            elif kind == "metrics":
+                metrics_dump = line.get("metrics")
+    except json.JSONDecodeError as error:
+        print(
+            f"error: {path} is not valid JSONL (truncated write?): "
+            f"line {error.lineno}: {error.msg}",
+            file=sys.stderr,
+        )
+        return 2
+    if lines == 0:
+        print(f"error: {path} is empty — no trace was written", file=sys.stderr)
+        return 2
     if not spans:
         print(f"error: {path} contains no span lines", file=sys.stderr)
         return 1

@@ -151,6 +151,13 @@ class RootElection:
                     fragments=result.fragments,
                 )
                 telemetry.count("election.runs", 1)
+                telemetry.event(
+                    "election",
+                    node=result.new_root,
+                    old_root=result.old_root,
+                    new_root=result.new_root,
+                    participants=result.participants,
+                )
         return result
 
     def _elect_impl(self, network: SensorNetwork) -> ElectionResult:

@@ -137,6 +137,12 @@ class FaultEngine:
         #: next heartbeat sweep notices the missing liveness bit.
         self.detector = detector
         self._undetected: dict[int, int] = {}
+        #: Flight-event id of each pending crash's injection, so the
+        #: eventual ``detect.miss`` can chain to it explicitly.
+        self._crash_events: dict[int, int] = {}
+        #: Explicit cause for injections applied *on behalf of* another
+        #: event (a regional outage's expanded crashes chain to the outage).
+        self._injection_cause: int | None = None
         self._epoch = 0
         self._rng = make_rng(seed)
         self.dropped_edges: set[tuple[int, int]] = set()
@@ -166,6 +172,11 @@ class FaultEngine:
         field cannot heal or break on its own, and detached survivors are
         reconsidered by the full repair the next event triggers.
         """
+        telemetry = self.network.telemetry
+        if telemetry.enabled and telemetry.flight is not None:
+            # Each epoch's causal chains start fresh; only explicit links
+            # (pending-crash ids) cross the boundary.
+            telemetry.flight.new_epoch()
         events = list(self.script.events_at(epoch))
         events.extend(extra_events)
         events.extend(self._stochastic_events())
@@ -247,10 +258,33 @@ class FaultEngine:
             return (), ()
         victims = sorted(self._undetected)
         latencies = tuple(epoch - self._undetected[node] for node in victims)
-        for node in victims:
+        telemetry = self.network.telemetry
+        for node, latency in zip(victims, latencies):
             self.network.kill_node(node)
+            if telemetry.enabled:
+                telemetry.event(
+                    "detect.miss",
+                    node=node,
+                    cause=self._crash_events.pop(node, None),
+                    epoch=epoch,
+                    latency=latency,
+                )
         self._undetected.clear()
         return tuple(victims), latencies
+
+    def _emit_injection(self, fault: str, node: int | None, **attributes) -> int | None:
+        """Record a ``fault.injected`` flight event (``None`` when disabled)."""
+        telemetry = self.network.telemetry
+        if not telemetry.enabled:
+            return None
+        return telemetry.event(
+            "fault.injected",
+            node=node,
+            cause=self._injection_cause,
+            epoch=self._epoch,
+            fault=fault,
+            **attributes,
+        )
 
     # ------------------------------------------------------------------ #
     # Event application
@@ -276,6 +310,7 @@ class FaultEngine:
                 return  # a double blow in one epoch changes nothing
             network.kill_node(node_id, allow_root=True)
             crashed.append(node_id)
+            self._emit_injection("RootCrash", node_id)
         elif isinstance(event, NodeCrash):
             node_id = event.node_id
             if not network.is_alive(node_id) or node_id in self._undetected:
@@ -296,7 +331,15 @@ class FaultEngine:
                 node.clear_items()
                 node.reset_scratch()
                 self._undetected[node_id] = self._epoch
+                event_id = self._emit_injection(
+                    "NodeCrash", node_id, detected=False
+                )
+                if event_id is not None:
+                    self._crash_events[node_id] = event_id
+                crashed.append(node_id)
+                return
             crashed.append(node_id)
+            self._emit_injection("NodeCrash", node_id, detected=True)
         elif isinstance(event, NodeRejoin):
             node_id = event.node_id
             if node_id in self._undetected:
@@ -304,34 +347,48 @@ class FaultEngine:
                 # Its parent never missed a heartbeat, the tree is intact —
                 # only the readings changed.
                 del self._undetected[node_id]
+                self._crash_events.pop(node_id, None)
                 node = network.node(node_id)
                 node.clear_items()
                 node.add_items(event.items)
                 rejoined.append(node_id)
                 flaps.append(node_id)
+                self._emit_injection("NodeRejoin", node_id, flap=True)
             elif not network.is_alive(node_id):
                 network.revive_node(node_id)
                 node = network.node(node_id)
                 node.clear_items()
                 node.add_items(event.items)
                 rejoined.append(node_id)
+                self._emit_injection("NodeRejoin", node_id, flap=False)
         elif isinstance(event, RegionalOutage):
-            for crash in expand_regional_outage(
-                network.graph, event, protect=(network.root_id,)
-            ):
-                self._apply(crash, crashed, rejoined, dropped, restored, flaps)
+            outage_id = self._emit_injection(
+                "RegionalOutage", event.center, radius=event.radius
+            )
+            previous_cause = self._injection_cause
+            if outage_id is not None:
+                self._injection_cause = outage_id
+            try:
+                for crash in expand_regional_outage(
+                    network.graph, event, protect=(network.root_id,)
+                ):
+                    self._apply(crash, crashed, rejoined, dropped, restored, flaps)
+            finally:
+                self._injection_cause = previous_cause
         elif isinstance(event, LinkDrop):
             edge = event.edge
             if network.graph.has_edge(*edge):
                 network.graph.remove_edge(*edge)
                 self.dropped_edges.add(edge)
                 dropped.append(edge)
+                self._emit_injection("LinkDrop", None, u=edge[0], v=edge[1])
         elif isinstance(event, LinkRestore):
             edge = event.edge
             if edge in self.dropped_edges:
                 network.graph.add_edge(*edge)
                 self.dropped_edges.discard(edge)
                 restored.append(edge)
+                self._emit_injection("LinkRestore", None, u=edge[0], v=edge[1])
         else:
             raise ConfigurationError(f"unknown fault event {event!r}")
 

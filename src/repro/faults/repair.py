@@ -906,6 +906,14 @@ class TreeRepair:
                 raise  # a pointer flip failed after the unit committed
         unit = unit_id[orphan]
         cascade.adopted_units.append((unit, orphan, adopter))
+        telemetry = network.telemetry
+        if telemetry.enabled:
+            telemetry.event(
+                "repair.adoption",
+                node=orphan,
+                adopter=adopter,
+                unit_size=len(units[unit]),
+            )
         overrides = cascade.parent_overrides
         changed = cascade.parent_changed
         overrides[orphan] = adopter
@@ -1120,6 +1128,14 @@ class TreeRepair:
             network.send_batch(links, sizes, protocol=self.protocol, require_edge=False)
         network.ledger.advance_round(rounds)
         after = network.ledger.counters_snapshot()
+        telemetry = network.telemetry
+        if telemetry.enabled:
+            telemetry.event(
+                "repair.rebuild",
+                node=root,
+                component_size=len(component),
+                edges=component_graph.number_of_edges(),
+            )
         return RepairResult(
             strategy="rebuild",
             rebuilt=True,

@@ -248,4 +248,18 @@ def run_faulty_stream(
                 delta = bits - before.per_protocol_bits.get(key, 0)
                 if delta:
                     recorder.count("ledger.bits", delta, protocol=key)
+            # A delta burst: this epoch's query traffic jumped far above
+            # its trailing median — worth a causal breadcrumb even when no
+            # fault fired this epoch (a late detection often pays here).
+            history = [r.query_bits for r in trace.records[-6:-1]]
+            if len(history) >= 3:
+                history.sort()
+                baseline = history[len(history) // 2]
+                if latest.query_bits > max(4 * baseline, baseline + 64):
+                    recorder.event(
+                        "delta.burst",
+                        epoch=epoch,
+                        query_bits=latest.query_bits,
+                        baseline=baseline,
+                    )
     return trace

@@ -147,7 +147,19 @@ class VectorField:
     # ------------------------------------------------------------------ #
     def crash(self, positions) -> None:
         """Kill the nodes at the given canonical positions."""
-        self.alive[np.asarray(positions, dtype=np.int64)] = False
+        positions = np.asarray(positions, dtype=np.int64)
+        self.alive[positions] = False
+        telemetry = self.telemetry
+        if telemetry.enabled and positions.size:
+            # One aggregate injection event: per-node records at this scale
+            # would reintroduce the O(n) Python the class exists to avoid.
+            telemetry.event(
+                "fault.injected",
+                node=int(positions[0]),
+                epoch=self.epoch,
+                fault="crash",
+                count=int(positions.size),
+            )
 
     # ------------------------------------------------------------------ #
     # Epochs
@@ -172,39 +184,45 @@ class VectorField:
         telemetry = self.telemetry
         before_bits = self.ledger.total_bits
 
-        heartbeat_bits, heartbeat_messages = heartbeat_sweep_vectorized(
-            self.flat, self.alive, self.ledger, telemetry=telemetry
-        )
-
-        previously_attached = self.attached
-        if telemetry.enabled:
-            with telemetry.span("repair") as span:
-                self.attached = attached_mask_vectorized(self.flat, self.alive)
-                span.annotate(
-                    detached=int(self.alive.sum() - self.attached[self.alive].sum())
-                )
-        else:
-            self.attached = attached_mask_vectorized(self.flat, self.alive)
-        self._evict_detached(previously_attached)
-
-        if changed_positions is not None:
-            changed_positions = np.asarray(changed_positions, dtype=np.int64)
-            new_counts = np.asarray(new_counts, dtype=np.int64)
-            self.counts[changed_positions] = new_counts
-
+        # One epoch span wraps the fused chain, mirroring the fault
+        # runner's span vocabulary — its close also feeds the attribution
+        # sink from the span's own ledger mark (one array subtraction).
         totals = {"dirty": 0, "transmissions": 0, "suppressions": 0, "rounds": 0}
-        with telemetry.span("stream", epoch=self.epoch) as stream_span:
-            for name, query in self._queries.items():
-                with telemetry.span("convergecast", query=name):
-                    self._run_query_epoch(
-                        name, query, changed_positions, totals
-                    )
+        with telemetry.span("epoch", epoch=self.epoch):
+            heartbeat_bits, heartbeat_messages = heartbeat_sweep_vectorized(
+                self.flat, self.alive, self.ledger, telemetry=telemetry
+            )
+
+            previously_attached = self.attached
             if telemetry.enabled:
-                stream_span.annotate(
-                    dirty_nodes=totals["dirty"],
-                    transmissions=totals["transmissions"],
-                    suppressions=totals["suppressions"],
-                )
+                with telemetry.span("repair") as span:
+                    self.attached = attached_mask_vectorized(self.flat, self.alive)
+                    span.annotate(
+                        detached=int(
+                            self.alive.sum() - self.attached[self.alive].sum()
+                        )
+                    )
+            else:
+                self.attached = attached_mask_vectorized(self.flat, self.alive)
+            self._evict_detached(previously_attached)
+
+            if changed_positions is not None:
+                changed_positions = np.asarray(changed_positions, dtype=np.int64)
+                new_counts = np.asarray(new_counts, dtype=np.int64)
+                self.counts[changed_positions] = new_counts
+
+            with telemetry.span("stream", epoch=self.epoch) as stream_span:
+                for name, query in self._queries.items():
+                    with telemetry.span("convergecast", query=name):
+                        self._run_query_epoch(
+                            name, query, changed_positions, totals
+                        )
+                if telemetry.enabled:
+                    stream_span.annotate(
+                        dirty_nodes=totals["dirty"],
+                        transmissions=totals["transmissions"],
+                        suppressions=totals["suppressions"],
+                    )
 
         record = {
             "epoch": self.epoch,
@@ -238,17 +256,28 @@ class VectorField:
         frontier = frontier[(parents >= 0) & self.attached[parents]]
         if not frontier.size:
             return
+        total_evicted = 0
         for query in self._queries.values():
             state = query.state
             evicted = frontier[state.has_delivered[frontier]]
             if not evicted.size:
                 continue
+            total_evicted += int(evicted.size)
             np.subtract.at(
                 state.child_sum, self.flat.parent[evicted], state.last_delivered[evicted]
             )
             state.last_delivered[evicted] = 0
             state.has_delivered[evicted] = False
             query.forced[self.flat.parent[evicted]] = True
+        telemetry = self.telemetry
+        if telemetry.enabled and total_evicted:
+            # Aggregated (no per-node Python on the vector path).
+            telemetry.event(
+                "cache.evict",
+                epoch=self.epoch,
+                count=total_evicted,
+                site="detached",
+            )
 
     def _run_query_epoch(
         self, name: str, query: _FieldQuery, changed_positions, totals

@@ -91,6 +91,9 @@ class ContinuousQueryEngine:
         self._queries: dict[str, _QueryState] = {}
         self._answers: dict[str, Any] = {}
         self._pending_dirty: set[int] = set()
+        #: Last epoch's "anything transmitting?" truth, for the
+        #: ``suppression.flip`` flight event (``None`` before any epoch).
+        self._suppression_state: bool | None = None
 
     # ------------------------------------------------------------------ #
     # Registration
@@ -188,6 +191,7 @@ class ContinuousQueryEngine:
         # so the standing answers move to the new root this epoch.
         dirty.add(new_root)
         self._pending_dirty |= dirty
+        self._record_root_change_evictions(path)
 
     def apply_repair(self, result) -> None:
         """Re-synchronise the summary caches after a spanning-tree repair.
@@ -221,6 +225,7 @@ class ContinuousQueryEngine:
                 }
                 state.initialized = False
             self._pending_dirty = set(tree_nodes)
+            self._record_evictions(result)
             return
         dirty: set[int] = set()
         removed = set(result.removed)
@@ -248,6 +253,40 @@ class ContinuousQueryEngine:
                     nodes[node_id] = _NodeQueryState()
                     dirty.add(node_id)
         self._pending_dirty |= {node for node in dirty if node in tree_nodes}
+        self._record_evictions(result)
+
+    def _record_evictions(self, result) -> None:
+        """Flight events for the cache evictions a repair just caused.
+
+        Called once per recovery (the evictions are identical for every
+        registered query).  A rebuild resets every cache, so it emits one
+        aggregated event; the incremental path emits one per evicted
+        ``(parent, child)`` cache pair.
+        """
+        telemetry = self.network.telemetry
+        if not telemetry.enabled:
+            return
+        if getattr(result, "rebuilt", False):
+            telemetry.event(
+                "cache.evict",
+                count=len(self.network.tree.parent),
+                site="rebuild-reset",
+            )
+            return
+        for parent, child in result.child_losses:
+            telemetry.event(
+                "cache.evict", node=parent, child=child, site="repair"
+            )
+
+    def _record_root_change_evictions(self, path) -> None:
+        """Flight events for the cache migration along a re-rooted path."""
+        telemetry = self.network.telemetry
+        if not telemetry.enabled:
+            return
+        for previous, member in zip(path, path[1:]):
+            telemetry.event(
+                "cache.evict", node=member, child=previous, site="root-change"
+            )
 
     # ------------------------------------------------------------------ #
     # Epoch execution
@@ -300,6 +339,18 @@ class ContinuousQueryEngine:
                     transmissions=stats_total["transmissions"],
                     suppressions=stats_total["suppressions"],
                 )
+                transmitting = stats_total["transmissions"] > 0
+                if (
+                    self._suppression_state is not None
+                    and transmitting != self._suppression_state
+                ):
+                    telemetry.event(
+                        "suppression.flip",
+                        direction="transmitting" if transmitting else "quiet",
+                        transmissions=stats_total["transmissions"],
+                        suppressions=stats_total["suppressions"],
+                    )
+                self._suppression_state = transmitting
 
         after = self.network.ledger.counters_snapshot()
         record = build_epoch_record(

@@ -236,6 +236,7 @@ class VectorStreamEngine(ContinuousQueryEngine):
                 state.tracked[root_position] = True
         dirty.add(new_root)
         self._pending_dirty |= dirty
+        self._record_root_change_evictions(path)
 
     def apply_repair(self, result) -> None:
         if result is None or not getattr(result, "changed_anything", True):
@@ -250,6 +251,7 @@ class VectorStreamEngine(ContinuousQueryEngine):
                 state.initialized = False
             self._dropped.by_query.clear()
             self._pending_dirty = set(tree_nodes)
+            self._record_evictions(result)
             return
         dirty: set[int] = set()
         ids = self._flat.node_ids
@@ -283,6 +285,7 @@ class VectorStreamEngine(ContinuousQueryEngine):
                 for position in fresh.tolist():
                     dirty.add(int(ids[position]))
         self._pending_dirty |= {node for node in dirty if node in tree_nodes}
+        self._record_evictions(result)
 
     def _evict_child_cache(
         self, columns: SweepState, parked: dict[int, int], parent_pos: int, child_id: int
@@ -444,7 +447,19 @@ class VectorStreamEngine(ContinuousQueryEngine):
                 columns, active, deepest=deepest, slack=slack, protocol=protocol
             )
             if telemetry.enabled:
-                span.annotate(dispatched=len(results))
+                # Per-worker breakdown, keyed by shard id, so attribution
+                # can be sliced per shard instead of one opaque fan-out.
+                span.annotate(
+                    dispatched=len(results),
+                    shard_nodes={
+                        str(shard.index): int(shard.positions.size)
+                        for shard, _ in results
+                    },
+                    shard_bits={
+                        str(shard.index): int(outcome.ledger.total_bits)
+                        for shard, outcome in results
+                    },
+                )
         activated = transmissions = suppressions = 0
         external_delta = 0
         external_count = 0
@@ -466,7 +481,9 @@ class VectorStreamEngine(ContinuousQueryEngine):
                 network.ledger.merge(combined)
                 if telemetry.enabled:
                     span.annotate(
-                        bits=combined.total_bits, messages=combined.total_messages
+                        bits=combined.total_bits,
+                        messages=combined.total_messages,
+                        shards=len(results),
                     )
         # The root's own turn: deliveries from shard tops landed as one
         # summed delta; the root merges and never transmits.

@@ -1,0 +1,192 @@
+"""The flight recorder: a bounded ring of structured causal events.
+
+Spans answer *how much* each phase cost; the flight recorder answers *why*.
+Every noteworthy state transition of the resilient pipeline — a fault
+injection, a heartbeat miss, an adoption handshake, a rebuild fallback, an
+election, a cache eviction, a delta burst, a suppression flip — is recorded
+as one :class:`FlightEvent` carrying ``(epoch, node, parent_span_id,
+cause_event_id)``, so a cost spike at epoch 37 can be walked backwards to
+the regional outage at epoch 35 that caused it.
+
+The recorder is a **ring buffer**: at most ``capacity`` events are retained
+and older ones are silently dropped (counted in :attr:`FlightRecorder.dropped`),
+so a million-node storm cannot turn the observability layer into the memory
+hog.  Events are emitted through
+:meth:`repro.telemetry.TelemetryRecorder.event` behind the existing
+``telemetry.enabled`` gate — with no flight recorder attached the hook is a
+single ``None`` check, and with telemetry disabled it is never reached.
+
+**Causality.**  An emitter may pass an explicit ``cause`` event id; when it
+does not, the recorder fills in :attr:`FlightRecorder.context_cause` — the
+most recent *context-setting* event (:data:`CONTEXT_KINDS`: injections,
+detections, elections, rebuild fallbacks).  The fault engine resets the
+context at each epoch's start, so the default chains read exactly as the
+pipeline executes: injection → detection → election / repair → eviction /
+delta burst.  :mod:`repro.telemetry.diagnose` walks these chains backwards
+to print "why" reports.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from repro.exceptions import ConfigurationError
+from repro.telemetry.records import json_safe
+
+#: The event taxonomy (``FlightEvent.kind`` values) the pipeline emits.
+#:
+#: ``fault.injected``    a fault event hit the network (attribute ``fault``
+#:                       names the event class; an outage's expanded crashes
+#:                       chain to the outage via ``cause_event_id``);
+#: ``detect.miss``       a heartbeat sweep (or repair probe) noticed a
+#:                       crashed node's silence (attribute ``latency``);
+#: ``repair.adoption``   an orphan unit re-attached through the adoption
+#:                       handshake (``node`` is the re-rooted contact);
+#: ``repair.rebuild``    the repair fell back to a full BFS rebuild;
+#: ``election``          a root fail-over completed (old/new root attrs);
+#: ``cache.evict``       the streaming layer evicted cached summaries
+#:                       (per pair on the reference path, aggregated with a
+#:                       ``count`` attribute on the vectorized paths);
+#: ``delta.burst``       an epoch's query traffic jumped far above its
+#:                       trailing baseline;
+#: ``suppression.flip``  the ε-suppression rule changed state between
+#:                       epochs (everything-quiet ↔ something-transmitting).
+EVENT_KINDS = (
+    "fault.injected",
+    "detect.miss",
+    "repair.adoption",
+    "repair.rebuild",
+    "election",
+    "cache.evict",
+    "delta.burst",
+    "suppression.flip",
+)
+
+#: Kinds that become the default ``cause`` of subsequent events (see the
+#: module docstring): what the epoch *learned or decided*, not every
+#: individual consequence.
+CONTEXT_KINDS = frozenset(
+    {"fault.injected", "detect.miss", "election", "repair.rebuild"}
+)
+
+
+@dataclass
+class FlightEvent:
+    """One recorded causal event."""
+
+    event_id: int
+    kind: str
+    #: The epoch the event belongs to (``None`` outside any epoch context).
+    epoch: int | None
+    #: The node the event is about (``None`` for aggregate events).
+    node: int | None
+    #: The innermost open span when the event fired (links events into the
+    #: span tree of the same trace file).
+    parent_span_id: int | None
+    #: The event that caused this one (``None`` for root causes).
+    cause_event_id: int | None
+    attributes: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        """JSON-safe dict — one ``"type": "event"`` JSONL line."""
+        return {
+            "type": "event",
+            "event_id": self.event_id,
+            "kind": self.kind,
+            "epoch": self.epoch,
+            "node": self.node,
+            "parent_span_id": self.parent_span_id,
+            "cause_event_id": self.cause_event_id,
+            "attributes": {
+                key: json_safe(value) for key, value in self.attributes.items()
+            },
+        }
+
+
+class FlightRecorder:
+    """A bounded ring buffer of :class:`FlightEvent` records.
+
+    ``capacity`` bounds retained events (oldest dropped first); event ids
+    keep counting monotonically across drops, so ``cause_event_id`` links
+    stay unambiguous even when their target has been evicted from the ring.
+    """
+
+    def __init__(self, capacity: int = 65536) -> None:
+        if capacity <= 0:
+            raise ConfigurationError(
+                f"capacity must be positive, got {capacity}"
+            )
+        self.capacity = capacity
+        self._ring: deque[FlightEvent] = deque(maxlen=capacity)
+        self._next_id = 1
+        #: Events evicted by the ring bound (for honesty in reports).
+        self.dropped = 0
+        #: Default ``cause`` for events recorded without one; maintained by
+        #: :meth:`record` (context kinds) and reset per epoch by the fault
+        #: engine via :meth:`new_epoch`.
+        self.context_cause: int | None = None
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    @property
+    def events(self) -> list[FlightEvent]:
+        """The retained events, oldest first."""
+        return list(self._ring)
+
+    def new_epoch(self) -> None:
+        """Reset the causal context (each epoch's chains start fresh)."""
+        self.context_cause = None
+
+    def record(
+        self,
+        kind: str,
+        *,
+        epoch: int | None = None,
+        node: int | None = None,
+        parent_span_id: int | None = None,
+        cause: int | None = None,
+        **attributes: Any,
+    ) -> int:
+        """Append one event; returns its id.
+
+        ``cause=None`` inherits :attr:`context_cause` — except for
+        ``fault.injected`` events, which are causal *roots* unless the
+        emitter chains them explicitly (a regional outage's expanded
+        crashes do).
+        """
+        if cause is None and kind != "fault.injected":
+            cause = self.context_cause
+        event = FlightEvent(
+            event_id=self._next_id,
+            kind=kind,
+            epoch=epoch,
+            node=node,
+            parent_span_id=parent_span_id,
+            cause_event_id=cause,
+            attributes=attributes,
+        )
+        self._next_id += 1
+        if len(self._ring) == self.capacity:
+            self.dropped += 1
+        self._ring.append(event)
+        if kind in CONTEXT_KINDS:
+            self.context_cause = event.event_id
+        return event.event_id
+
+    def events_of(self, kind: str) -> list[FlightEvent]:
+        """Retained events of one kind, oldest first."""
+        return [event for event in self._ring if event.kind == kind]
+
+    def iter_dicts(self) -> Iterator[dict]:
+        """JSON-safe dicts for every retained event (oldest first)."""
+        for event in self._ring:
+            yield event.to_dict()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug convenience
+        return (
+            f"FlightRecorder(events={len(self._ring)}, "
+            f"capacity={self.capacity}, dropped={self.dropped})"
+        )

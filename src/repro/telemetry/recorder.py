@@ -63,6 +63,14 @@ class TelemetryRecorder:
     #: Fast gate for hot-path hooks: ``if recorder.enabled: ...``.
     enabled: bool = False
 
+    #: Optional :class:`~repro.telemetry.flight.FlightRecorder` sink for
+    #: causal events (``None`` keeps :meth:`event` a no-op).
+    flight: Any = None
+
+    #: Optional :class:`~repro.telemetry.attribution.CostAttribution` sink
+    #: fed per-node ledger deltas as spans close.
+    attribution: Any = None
+
     def bind_ledger(self, ledger: Any) -> None:
         """Attach the :class:`~repro.network.CommunicationLedger` spans meter.
 
@@ -82,6 +90,22 @@ class TelemetryRecorder:
 
     def observe(self, name: str, value: int | float, **labels: str) -> None:
         """Record one observation into the histogram ``name`` (labelled)."""
+
+    def event(
+        self,
+        kind: str,
+        *,
+        node: int | None = None,
+        cause: int | None = None,
+        **attributes: Any,
+    ) -> int | None:
+        """Record one causal flight event; returns its id (``None`` here).
+
+        No-op unless a concrete recorder carries a :attr:`flight`
+        recorder.  Emitters gate on :attr:`enabled` first, so the disabled
+        path never even reaches this call.
+        """
+        return None
 
 
 class NullRecorder(TelemetryRecorder):

@@ -131,6 +131,8 @@ class SpanTracer(TelemetryRecorder):
         ledger: Any = None,
         metrics: MetricsRegistry | None = None,
         clock: Callable[[], float] = time.perf_counter,
+        flight: Any = None,
+        attribution: Any = None,
     ) -> None:
         self._ledger = ledger
         self.metrics = metrics if metrics is not None else MetricsRegistry()
@@ -140,6 +142,11 @@ class SpanTracer(TelemetryRecorder):
         self._next_id = 1
         #: Finished spans, in completion order (children before parents).
         self.spans: list[Span] = []
+        #: Optional :class:`~repro.telemetry.flight.FlightRecorder` sink.
+        self.flight = flight
+        #: Optional :class:`~repro.telemetry.attribution.CostAttribution`
+        #: sink, fed each closing span named ``attribution.span_name``.
+        self.attribution = attribution
 
     # ------------------------------------------------------------------ #
     # Recorder protocol
@@ -179,6 +186,41 @@ class SpanTracer(TelemetryRecorder):
     def observe(self, name: str, value: int | float, **labels: str) -> None:
         self.metrics.observe(name, value, **labels)
 
+    def event(
+        self,
+        kind: str,
+        *,
+        node: int | None = None,
+        cause: int | None = None,
+        **attributes: Any,
+    ) -> int | None:
+        """Record a causal flight event, anchored to the open span stack.
+
+        The innermost open span becomes ``parent_span_id``; the event's
+        epoch is ``attributes["epoch"]`` when the emitter supplies one,
+        else the nearest enclosing span that carries an ``epoch``
+        attribute.  Returns the event id, or ``None`` with no flight
+        recorder attached.
+        """
+        flight = self.flight
+        if flight is None:
+            return None
+        epoch = attributes.pop("epoch", None)
+        if epoch is None:
+            for handle in reversed(self._stack):
+                epoch = handle.span.attributes.get("epoch")
+                if epoch is not None:
+                    break
+        parent_span_id = self._stack[-1].span.span_id if self._stack else None
+        return flight.record(
+            kind,
+            epoch=epoch,
+            node=node,
+            parent_span_id=parent_span_id,
+            cause=cause,
+            **attributes,
+        )
+
     # ------------------------------------------------------------------ #
     # Span lifecycle
     # ------------------------------------------------------------------ #
@@ -198,7 +240,20 @@ class SpanTracer(TelemetryRecorder):
             span.bits = ledger.total_bits - mark.total_bits
             span.messages = ledger.total_messages - mark.messages
             span.rounds = ledger.rounds - mark.rounds
-            span.max_node_bits = ledger.max_node_delta_since(mark)
+            attribution = self.attribution
+            deltas = None
+            if attribution is not None and span.name == attribution.span_name:
+                # Reuse the span's own mark: per-node attribution costs no
+                # additional mark, and never a charged bit.  The fold hands
+                # back the dense delta array (numpy path) so max_node_bits
+                # comes from the same single subtraction.
+                deltas = attribution.observe_span(span, ledger, mark)
+            if deltas is not None:
+                span.max_node_bits = (
+                    max(0, int(deltas.max())) if deltas.size else 0
+                )
+            elif span.bits:
+                span.max_node_bits = ledger.max_node_delta_since(mark)
             ledger.release(mark)
         if self._stack:
             parent = self._stack[-1].span
@@ -276,13 +331,22 @@ class SpanTracer(TelemetryRecorder):
         return summary
 
     def iter_dicts(self):
-        """JSON-safe dicts for every finished span plus one metrics line."""
+        """JSON-safe dicts for the whole trace.
+
+        Spans first, then flight events, then attribution lines, then one
+        final metrics line — everything the diagnosis engine needs in one
+        JSONL file.
+        """
         for span in self.spans:
             yield span.to_dict()
+        if self.flight is not None:
+            yield from self.flight.iter_dicts()
+        if self.attribution is not None:
+            yield from self.attribution.iter_dicts()
         yield {"type": "metrics", "metrics": self.metrics.to_dict()}
 
     def write_jsonl(self, path) -> int:
-        """Write the trace (spans + final metrics dump) as JSONL lines."""
+        """Write the trace (spans + events + attribution + metrics) as JSONL."""
         from repro.telemetry.export import write_jsonl
 
         return write_jsonl(path, self.iter_dicts())
