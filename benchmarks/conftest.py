@@ -84,21 +84,13 @@ def emit_bench_json(
 def phases_from_tracer(tracer) -> dict[str, dict[str, float]]:
     """The ``phases`` section of a bench report, from a tracer's spans.
 
-    One entry per span name: how often the phase ran, its summed wall-clock
-    and its *exclusive* communication bits (so the per-phase bits add up to
-    the run total instead of double-counting nested spans; the inclusive
-    figure rides along as ``bits_inclusive``).
+    Delegates to :func:`repro.telemetry.phases_payload` — the same fold the
+    sweep harness (`repro.sweeps`) applies to every cell, so bench reports
+    and sweep reports stay schema-compatible.
     """
-    return {
-        name: {
-            "count": int(row["count"]),
-            "wall_s": round(row["wall_s"], 4),
-            "bits": int(row["exclusive_bits"]),
-            "bits_inclusive": int(row["bits"]),
-            "max_node_bits": int(row["max_node_bits"]),
-        }
-        for name, row in tracer.phase_summary().items()
-    }
+    from repro.telemetry import phases_payload
+
+    return phases_payload(tracer)
 
 
 def emit_telemetry_jsonl(name: str, tracer) -> str:

@@ -1,18 +1,23 @@
 #!/usr/bin/env python3
-"""Docs drift gate: resolvable links, and a complete ARCHITECTURE map.
+"""Docs drift gate: links, a complete ARCHITECTURE map, live sweep specs.
 
 Run from anywhere::
 
     python scripts/check_docs.py
 
-Two checks, both cheap and both fatal on failure:
+Three checks, all cheap and all fatal on failure:
 
 1. every relative markdown link in ``README.md`` and ``docs/*.md`` points
    at a file that exists (anchors are stripped; external URLs skipped);
 2. every *public* module under ``src/repro/`` — any ``.py`` whose dotted
    path has no underscore-prefixed component — is mentioned by dotted name
    in ``docs/ARCHITECTURE.md``, so the package map cannot silently drift
-   as modules are added.
+   as modules are added;
+3. every sweep spec referenced in ``docs/SWEEPS.md`` as a backticked
+   ```` `sweep:<name>` ```` token resolves to a builtin spec that expands
+   to a non-empty run matrix, so the sweeps guide cannot document a spec
+   that no longer exists (and the builtins are smoke-expanded on every
+   docs build).
 
 CI runs this in the ``docs`` job next to smoke-running every example.
 """
@@ -25,6 +30,7 @@ from pathlib import Path
 
 ROOT = Path(__file__).resolve().parent.parent
 LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+SWEEP_REF = re.compile(r"`sweep:([A-Za-z0-9_-]+)`")
 
 
 def doc_files() -> list[Path]:
@@ -82,9 +88,52 @@ def check_architecture_mentions() -> list[str]:
     ]
 
 
+def sweep_references() -> list[str]:
+    """Spec names referenced as ```` `sweep:<name>` ```` in docs/SWEEPS.md."""
+    sweeps_doc = ROOT / "docs" / "SWEEPS.md"
+    if not sweeps_doc.exists():
+        return []
+    return sorted(set(SWEEP_REF.findall(sweeps_doc.read_text(encoding="utf-8"))))
+
+
+def check_sweep_specs() -> list[str]:
+    """Every documented sweep spec must exist and expand to a real matrix."""
+    names = sweep_references()
+    failures: list[str] = []
+    sys.path.insert(0, str(ROOT / "src"))
+    try:
+        from repro.exceptions import ConfigurationError
+        from repro.sweeps import BUILTIN_SWEEPS, get_sweep
+    except Exception as exc:  # pragma: no cover - import plumbing broke
+        return [f"docs/SWEEPS.md: cannot import repro.sweeps ({exc})"]
+    if not names:
+        failures.append(
+            "docs/SWEEPS.md references no `sweep:<name>` specs; the sweeps "
+            "guide must name the builtin specs it documents"
+        )
+    for name in names:
+        if name not in BUILTIN_SWEEPS:
+            failures.append(
+                f"docs/SWEEPS.md references `sweep:{name}` but it is not a "
+                f"builtin sweep (known: {sorted(BUILTIN_SWEEPS)})"
+            )
+            continue
+        try:
+            cells = get_sweep(name).expand()
+        except ConfigurationError as exc:
+            failures.append(f"docs/SWEEPS.md: `sweep:{name}` fails to expand ({exc})")
+            continue
+        if not cells:
+            failures.append(
+                f"docs/SWEEPS.md: `sweep:{name}` expands to an empty matrix"
+            )
+    return failures
+
+
 def main() -> int:
-    failures = check_links() + check_architecture_mentions()
+    failures = check_links() + check_architecture_mentions() + check_sweep_specs()
     modules = public_modules()
+    sweeps = sweep_references()
     links = sum(
         len(LINK.findall(doc.read_text(encoding="utf-8")))
         for doc in doc_files()
@@ -97,7 +146,7 @@ def main() -> int:
     print(
         f"docs check ok: {links} links across {len(doc_files())} documents "
         f"resolve, all {len(modules)} public modules mentioned in "
-        "docs/ARCHITECTURE.md"
+        f"docs/ARCHITECTURE.md, {len(sweeps)} documented sweep spec(s) expand"
     )
     return 0
 

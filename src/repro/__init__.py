@@ -147,7 +147,7 @@ from repro.telemetry import (
     TelemetryRecorder,
 )
 
-__version__ = "1.8.0"
+__version__ = "1.9.0"
 
 __all__ = [
     "ApproximateMedianProtocol",

@@ -1,9 +1,15 @@
-"""Sweep runners for the experiments of DESIGN.md (E1–E12).
+"""Study runners for the experiments of DESIGN.md (E1–E13).
 
 Each function runs one experiment family and returns plain records that the
 ``benchmarks/`` targets print as tables (and the test-suite sanity-checks at
 small sizes).  The functions are deliberately free of pytest / benchmark
 dependencies so they can also be driven from the example scripts.
+
+Multi-scenario studies over these runners are expressed declaratively
+through the sweep harness (:mod:`repro.sweeps`, ``docs/SWEEPS.md``): a
+spec's cells call straight into these functions (``repro.sweeps.cells``),
+so a sweep cell and a hand-written call are the same computation — the
+harness only adds matrix expansion, caching and parallel execution.
 """
 
 from __future__ import annotations

@@ -1,0 +1,110 @@
+"""Builtin sweep specs: the hand-written studies re-expressed as data.
+
+Each factory returns the :class:`~repro.sweeps.spec.SweepSpec` whose cells
+reproduce one of the study runners in :mod:`repro.analysis.experiments`
+with identical parameters — ``tests/test_sweeps.py`` asserts that a sweep
+cell and the corresponding hand-written call produce the same headline
+numbers.  Sizes scale through two environment variables so CI can smoke
+the same specs it gates on:
+
+``REPRO_SWEEP_NODES``
+    Network size for every builtin spec (default: each study's own
+    default — 100 nodes for E10, 400 for E12).
+``REPRO_SWEEP_EPOCHS``
+    Stream length for the E10 spec (default 30).
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.exceptions import ConfigurationError
+from repro.sweeps.spec import Constraint, SweepSpec
+
+
+def _env_int(name: str, default: int) -> int:
+    value = os.environ.get(name)
+    return default if value is None else int(value)
+
+
+def e10_streaming_spec(
+    num_nodes: int | None = None,
+    epochs: int | None = None,
+    workloads: tuple = ("drift", "burst"),
+    seeds: tuple = (0, 1),
+) -> SweepSpec:
+    """E10 — the streaming comparison, swept over workload x seed.
+
+    Each cell drives the incremental and recompute engines through one
+    identical stream (``run_streaming_comparison``); the headline measure
+    is the bits savings factor at the same ε-approximation guarantee.
+    """
+    return SweepSpec(
+        name="e10_streaming",
+        experiment="streaming",
+        axes={"workload": tuple(workloads), "seed": tuple(seeds)},
+        base={
+            "n": num_nodes or _env_int("REPRO_SWEEP_NODES", 100),
+            "epochs": epochs or _env_int("REPRO_SWEEP_EPOCHS", 30),
+            "epsilon": 0.1,
+            "topology": "grid",
+        },
+    )
+
+
+def e12_fault_tolerance_spec(
+    num_nodes: int | None = None,
+    epochs: int = 8,
+    scenarios: tuple = ("crash_storm", "regional_outage", "link_storm"),
+    detector_periods: tuple = (None, 4),
+    seeds: tuple = (0,),
+) -> SweepSpec:
+    """E12 — fault tolerance, swept over scenario x detector period x seed.
+
+    Each cell runs both repair policies (incremental vs rebuild) through
+    one fault script (``run_fault_tolerance_study``).  The constraint
+    prunes the heartbeat arm of the ``link_storm`` scenario: heartbeats
+    detect *node* crashes, while link failures are oracle-detected by the
+    sender's missing ack, so a charged detector on a link-only scenario
+    measures nothing but its own overhead.
+    """
+    return SweepSpec(
+        name="e12_fault_tolerance",
+        experiment="fault_tolerance",
+        axes={
+            "scenario": tuple(scenarios),
+            "detector_period": tuple(detector_periods),
+            "seed": tuple(seeds),
+        },
+        base={
+            "n": num_nodes or _env_int("REPRO_SWEEP_NODES", 400),
+            "epochs": epochs,
+            "crash_fraction": 0.1,
+            "epsilon": 0.1,
+            "topology": "random_geometric",
+        },
+        constraints=(
+            Constraint(
+                when={"scenario": ("link_storm",)},
+                require={"detector_period": (None,)},
+            ),
+        ),
+    )
+
+
+#: Name -> factory for every spec the CLI and docs gate can resolve.
+BUILTIN_SWEEPS = {
+    "e10_streaming": e10_streaming_spec,
+    "e12_fault_tolerance": e12_fault_tolerance_spec,
+}
+
+
+def get_sweep(name: str, **overrides) -> SweepSpec:
+    """Resolve a builtin sweep spec by name."""
+    try:
+        factory = BUILTIN_SWEEPS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown sweep {name!r}; builtin: {sorted(BUILTIN_SWEEPS)}"
+        ) from None
+    return factory(**overrides)

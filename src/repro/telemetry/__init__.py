@@ -92,7 +92,7 @@ from repro.telemetry.recorder import (
     TelemetryRecorder,
     as_recorder,
 )
-from repro.telemetry.spans import Span, SpanTracer
+from repro.telemetry.spans import Span, SpanTracer, phases_payload
 
 __all__ = [
     "ATTRIBUTION_MODES",
@@ -122,6 +122,7 @@ __all__ = [
     "dumps_line",
     "json_safe",
     "load_jsonl",
+    "phases_payload",
     "read_jsonl",
     "rolling_mad_anomalies",
     "split_by_type",

@@ -356,3 +356,26 @@ class SpanTracer(TelemetryRecorder):
             f"SpanTracer(finished={len(self.spans)}, open={len(self._stack)}, "
             f"metrics={self.metrics!r})"
         )
+
+
+def phases_payload(tracer: SpanTracer) -> dict[str, dict[str, float]]:
+    """A JSON-safe per-phase breakdown of a tracer's finished spans.
+
+    One entry per span name: how often the phase ran, its summed
+    wall-clock, and its *exclusive* communication bits (so the per-phase
+    bits add up to the run total instead of double-counting nested spans;
+    the inclusive figure rides along as ``bits_inclusive``).  This is the
+    ``phases`` section of both the ``BENCH_<name>.json`` perf reports
+    (``benchmarks/conftest.emit_bench_json``) and the per-cell records of
+    the sweep harness (:mod:`repro.sweeps`).
+    """
+    return {
+        name: {
+            "count": int(row["count"]),
+            "wall_s": round(row["wall_s"], 4),
+            "bits": int(row["exclusive_bits"]),
+            "bits_inclusive": int(row["bits"]),
+            "max_node_bits": int(row["max_node_bits"]),
+        }
+        for name, row in tracer.phase_summary().items()
+    }
