@@ -1,0 +1,107 @@
+"""E14 — multi-tenant dedup: one shared plan vs Q independent engines.
+
+The tenancy layer's claim is that total communication for Q overlapping
+standing queries should grow with the number of *distinct aggregates*, not
+the number of tenants.  This benchmark registers Q tenant queries drawn
+from four signature families (COUNT / q-digest / distinct / COUNTP) on one
+:class:`~repro.tenancy.MultiTenantEngine` and on Q dedicated
+single-tenant engines over identically-seeded networks and streams, then
+checks:
+
+* the shared plan ships ≥ 5× fewer total bits than the Q independent
+  engines (the acceptance criterion; with Q tenants over L legs the
+  measured ratio is Q/L, well above the floor at the default sizes);
+* every tenant's per-epoch answer is number-identical to its dedicated
+  engine's — dedup changes *who pays*, never *what is answered*;
+* the per-tenant ledger columns sum exactly to the shared plan's charged
+  bits after every epoch (the decomposition invariant).
+
+Sizes come from ``REPRO_TENANT_NODES`` / ``REPRO_TENANT_QUERIES`` /
+``REPRO_TENANT_EPOCHS`` so CI can smoke the same assertions at a smaller
+point (the acceptance size is n = 10,000, Q = 32).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from benchmarks.conftest import (
+    emit_bench_json,
+    emit_telemetry_jsonl,
+    phases_from_tracer,
+    run_once,
+)
+from repro.analysis.experiments import run_multitenant_study
+from repro.analysis.report import format_table
+from repro.telemetry import SpanTracer
+
+NUM_NODES = int(os.environ.get("REPRO_TENANT_NODES", "10000"))
+TENANTS = int(os.environ.get("REPRO_TENANT_QUERIES", "32"))
+EPOCHS = int(os.environ.get("REPRO_TENANT_EPOCHS", "6"))
+EPSILON = 0.1
+
+
+def test_multitenant_shared_plan_vs_independent(benchmark):
+    started = time.perf_counter()
+    # Instrument the shared arm: the bench JSON gains the per-phase
+    # breakdown (epoch sweeps + tenant.split spans) and CI archives it.
+    tracer = SpanTracer()
+    comparison = run_once(
+        benchmark,
+        run_multitenant_study,
+        num_nodes=NUM_NODES,
+        epochs=EPOCHS,
+        tenants=TENANTS,
+        workload="drift",
+        epsilon=EPSILON,
+        seed=0,
+        telemetry=tracer,
+    )
+
+    rows = [
+        ["tenant queries", comparison.tenants],
+        ["shared legs", comparison.legs],
+        ["shared plan bits", comparison.shared_bits],
+        ["independent bits", comparison.independent_bits],
+        ["savings factor", round(comparison.savings_factor, 2)],
+        ["answers identical", comparison.answers_match],
+        ["decomposition exact", comparison.decomposition_holds],
+    ]
+    print()
+    print(format_table(
+        ["measure", "value"],
+        rows,
+        title=(
+            f"E14  multi-tenant dedup, drift workload "
+            f"(N = {NUM_NODES}, Q = {TENANTS}, {EPOCHS} epochs)"
+        ),
+    ))
+
+    benchmark.extra_info["savings_factor"] = round(comparison.savings_factor, 2)
+    benchmark.extra_info["legs"] = comparison.legs
+    benchmark.extra_info["shared_bits"] = comparison.shared_bits
+    benchmark.extra_info["independent_bits"] = comparison.independent_bits
+
+    # Acceptance: Q overlapping queries cost ≥ 5× less than Q engines,
+    # with no tenant able to tell the difference from its answers.
+    assert comparison.savings_factor >= 5.0
+    assert comparison.answers_match
+    assert comparison.decomposition_holds
+    # The dedup itself: far fewer legs than tenants (four families here).
+    assert comparison.legs < comparison.tenants
+
+    emit_bench_json(
+        "multitenant",
+        n=NUM_NODES,
+        wall_clock_s=time.perf_counter() - started,
+        bits=comparison.shared_bits,
+        metrics={
+            "multitenant_savings": {
+                "value": round(comparison.savings_factor, 2),
+                "floor": 5.0,
+            },
+        },
+        phases=phases_from_tracer(tracer),
+    )
+    emit_telemetry_jsonl("multitenant", tracer)

@@ -50,6 +50,14 @@ a :class:`~repro.faults.RootCrash` triggers a charged
 component), the tree re-roots at the winner and the caches migrate along
 the reversed root path — ``docs/FAULTS.md`` walks the whole pipeline.
 
+Many clients can share one network: the tenancy layer in
+:mod:`repro.tenancy` deduplicates overlapping standing queries into a
+shared summary plan (:class:`~repro.tenancy.MultiTenantEngine`), with
+gold / standard / best-effort admission tiers under a bits budget and a
+per-tenant ledger split whose columns sum exactly to the shared plan's
+charged bits — ``docs/MULTITENANT.md`` has the planner model and
+``benchmarks/bench_multitenant.py`` the measured ≥5x dedup savings.
+
 Every phase of that pipeline is observable: install a
 :class:`~repro.telemetry.SpanTracer` (``network.telemetry = SpanTracer()``
 or ``run_faulty_stream(..., telemetry=SpanTracer())``) and each epoch emits
@@ -146,8 +154,14 @@ from repro.telemetry import (
     SpanTracer,
     TelemetryRecorder,
 )
+from repro.tenancy import (
+    AdmissionDecision,
+    MultiTenantEngine,
+    QueryPlanner,
+    TenantLedgerSplit,
+)
 
-__version__ = "1.9.0"
+__version__ = "1.10.0"
 
 __all__ = [
     "ApproximateMedianProtocol",
@@ -216,5 +230,9 @@ __all__ = [
     "Span",
     "SpanTracer",
     "TelemetryRecorder",
+    "AdmissionDecision",
+    "MultiTenantEngine",
+    "QueryPlanner",
+    "TenantLedgerSplit",
     "__version__",
 ]

@@ -62,8 +62,11 @@ from repro.streaming.queries import (
     DistinctCountQuery,
     MedianQuery,
     PredicateCountQuery,
+    QuantileQuery,
+    StandingQuery,
 )
 from repro.streaming.recompute import RecomputeEngine
+from repro.tenancy import MultiTenantEngine
 from repro.streaming.trace import StreamingTrace
 from repro.network.topology import build_topology
 from repro.workloads.faults import (
@@ -1294,4 +1297,178 @@ def run_root_failover_study(
         ),
         failover_trace=failover,
         rebuild_trace=rebuild,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# E14 — multi-tenant standing queries: shared plan vs independent engines
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class MultiTenantComparison:
+    """Outcome of serving Q overlapping tenant queries two ways."""
+
+    num_nodes: int
+    epochs: int
+    epsilon: float
+    workload: str
+    #: Tenants registered (one standing query each).
+    tenants: int
+    #: Distinct legs the planner actually runs (the dedup denominator).
+    legs: int
+    admitted: int
+    shared: int
+    degraded: int
+    rejected: int
+    #: Total charged bits of the shared plan (one MultiTenantEngine).
+    shared_bits: int
+    #: Total charged bits of Q dedicated single-tenant engines.
+    independent_bits: int
+    #: ``independent_bits / shared_bits`` — the one-for-all win.
+    savings_factor: float
+    #: Every admitted tenant's per-epoch answer was number-identical to
+    #: its dedicated single-tenant engine's.
+    answers_match: bool
+    #: The tenant ledger columns summed exactly to the plan's charged bits
+    #: after every epoch.
+    decomposition_holds: bool
+    shared_trace: StreamingTrace
+
+
+def _tenant_query_mix(
+    tenants: int, domain: int, compression: int, num_registers: int, seed: int
+) -> list[tuple[str, str, "StandingQuery"]]:
+    """A deterministic overlapping mix: Q tenants over four signatures.
+
+    Tenants cycle through the four standing-query families of
+    :func:`_standing_queries`; q-digest tenants additionally cycle their
+    queried fraction (0.5 / 0.25 / 0.75), which shares the same leg —
+    the fraction is excluded from the plan signature and resolved at the
+    root — while exercising the per-tenant answer derivation.
+    """
+    base = _standing_queries(domain, compression, num_registers, seed)
+    kinds = list(base)
+    fractions = (0.5, 0.25, 0.75)
+    mix: list[tuple[str, str, StandingQuery]] = []
+    for index in range(tenants):
+        kind = kinds[index % len(kinds)]
+        query = base[kind]
+        if kind == "median":
+            fraction = fractions[(index // len(kinds)) % len(fractions)]
+            query = QuantileQuery(
+                fraction, universe_size=domain + 1, compression=compression
+            )
+        mix.append((f"tenant{index:02d}", kind, query))
+    return mix
+
+
+def run_multitenant_study(
+    num_nodes: int = 100,
+    epochs: int = 20,
+    tenants: int = 12,
+    workload: str = "drift",
+    epsilon: float = 0.1,
+    topology: str = "grid",
+    domain_max: int | None = None,
+    compression: int = 256,
+    num_registers: int = 64,
+    seed: int = 0,
+    bits_budget: int | None = None,
+    telemetry=None,
+    **stream_params,
+) -> MultiTenantComparison:
+    """E14: Q overlapping standing queries, shared plan vs Q engines.
+
+    The shared arm registers every tenant query on one
+    :class:`~repro.tenancy.MultiTenantEngine`; the baseline runs one
+    dedicated :class:`~repro.streaming.ContinuousQueryEngine` per admitted
+    tenant over its own identically-built network and an identically-seeded
+    stream.  Per epoch the study checks that every tenant's derived answer
+    equals its dedicated engine's (number-identical — the plan changes
+    *who pays*, never *what is answered*) and that the tenant ledger
+    columns keep summing exactly to the shared plan's charged bits.  The
+    headline measure is ``independent_bits / shared_bits``, which grows
+    like Q over the number of distinct signatures.
+
+    ``telemetry`` installs a recorder on the *shared* network (the subject;
+    the baseline engines stay uninstrumented).
+    """
+    if tenants <= 0:
+        raise ConfigurationError(f"tenants must be positive, got {tenants}")
+    domain = domain_max if domain_max is not None else 1 << 16
+    mix = _tenant_query_mix(tenants, domain, compression, num_registers, seed)
+
+    shared_net = SensorNetwork.from_items(
+        [0] * num_nodes, topology=topology, seed=seed
+    )
+    shared_net.clear_items()
+    if telemetry is not None:
+        shared_net.telemetry = telemetry
+    service = MultiTenantEngine(
+        shared_net, epsilon=epsilon, bits_budget=bits_budget
+    )
+    decisions = {
+        tenant: service.register(tenant, query_name, query)
+        for tenant, query_name, query in mix
+    }
+
+    dedicated: dict[str, ContinuousQueryEngine] = {}
+    dedicated_streams = {}
+    for tenant, query_name, query in mix:
+        if not decisions[tenant].admitted:
+            continue
+        network = SensorNetwork.from_items(
+            [0] * num_nodes, topology=topology, seed=seed
+        )
+        network.clear_items()
+        engine = ContinuousQueryEngine(network, epsilon=epsilon)
+        engine.register(query_name, query)
+        dedicated[tenant] = engine
+        dedicated_streams[tenant] = make_stream(
+            workload, num_nodes, max_value=domain, seed=seed, **stream_params
+        )
+
+    shared_stream = make_stream(
+        workload, num_nodes, max_value=domain, seed=seed, **stream_params
+    )
+    answers_match = True
+    decomposition = True
+    query_names = {tenant: query_name for tenant, query_name, _ in mix}
+    for epoch in range(epochs):
+        updates = (
+            shared_stream.initial() if epoch == 0 else shared_stream.step(epoch)
+        )
+        service.advance_epoch(updates)
+        decomposition = decomposition and service.decomposition_holds()
+        for tenant, engine in dedicated.items():
+            stream = dedicated_streams[tenant]
+            own = stream.initial() if epoch == 0 else stream.step(epoch)
+            engine.advance_epoch(own)
+            name = query_names[tenant]
+            if engine.answers().get(name) != service.tenant_answers(tenant).get(
+                name
+            ):
+                answers_match = False
+
+    shared_bits = shared_net.ledger.total_bits
+    independent_bits = sum(
+        engine.network.ledger.total_bits for engine in dedicated.values()
+    )
+    statuses = [decision.status for decision in decisions.values()]
+    return MultiTenantComparison(
+        num_nodes=num_nodes,
+        epochs=epochs,
+        epsilon=epsilon,
+        workload=workload,
+        tenants=tenants,
+        legs=len(service.planner.legs()),
+        admitted=statuses.count("admitted"),
+        shared=statuses.count("shared"),
+        degraded=statuses.count("degraded"),
+        rejected=statuses.count("rejected"),
+        shared_bits=shared_bits,
+        independent_bits=independent_bits,
+        savings_factor=independent_bits / max(1, shared_bits),
+        answers_match=answers_match,
+        decomposition_holds=decomposition,
+        shared_trace=service.trace,
     )

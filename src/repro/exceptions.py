@@ -20,6 +20,17 @@ class TopologyError(ConfigurationError):
     """Raised when a requested topology cannot be built (e.g. disconnected)."""
 
 
+class DuplicateAxisValueError(ConfigurationError, ValueError):
+    """Raised when a sweep axis repeats a value (the seed-reuse footgun).
+
+    A repeated axis value would collapse two intended cells into one cache
+    key — ``seeds=(0, 1, 1)`` silently runs two cells where the author
+    budgeted three, and every downstream average is computed over fewer
+    independent samples than reported.  Also a :class:`ValueError`, so
+    generic callers that validate argument values catch it naturally.
+    """
+
+
 class EmptyNetworkError(ReproError):
     """Raised when a query is issued against a network holding no items."""
 

@@ -132,6 +132,22 @@ class ContinuousQueryEngine:
         """The most recent per-query answers (empty before the first epoch)."""
         return dict(self._answers)
 
+    def root_summary(self, name: str) -> StreamSummary | None:
+        """The root's merged subtree summary for one registered query.
+
+        ``None`` until something has reached the root.  This is the
+        shared-plan hook the tenancy layer derives per-tenant answers
+        from (:mod:`repro.tenancy`): answer parameters excluded from the
+        plan signature — a quantile's fraction — are applied to this one
+        summary at the root instead of costing extra convergecasts.
+        """
+        try:
+            state = self._queries[name]
+        except KeyError:
+            raise ConfigurationError(f"unknown query {name!r}") from None
+        root_state = state.nodes.get(self.network.root_id)
+        return None if root_state is None else root_state.subtree
+
     @property
     def epoch(self) -> int:
         """Number of epochs advanced so far."""

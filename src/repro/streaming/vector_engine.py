@@ -511,6 +511,18 @@ class VectorStreamEngine(ContinuousQueryEngine):
     # ------------------------------------------------------------------ #
     # Answers
     # ------------------------------------------------------------------ #
+    def root_summary(self, name: str) -> CountSummary | None:
+        """The root's merged count summary (the reference accessor's twin)."""
+        try:
+            state = self._queries[name]
+        except KeyError:
+            raise ConfigurationError(f"unknown query {name!r}") from None
+        columns = state.state
+        root_position = self._pos_of(self.network.root_id)
+        if root_position < 0 or not columns.has_subtree[root_position]:
+            return None
+        return CountSummary(int(columns.subtree_val[root_position]))
+
     def _read_answer(self, name: str, state) -> None:
         columns = state.state
         root_position = self._pos_of(self.network.root_id)

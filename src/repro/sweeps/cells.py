@@ -30,6 +30,7 @@ from typing import Any, Callable
 
 from repro.analysis.experiments import (
     run_fault_tolerance_study,
+    run_multitenant_study,
     run_root_failover_study,
     run_scaling_study,
     run_streaming_comparison,
@@ -163,12 +164,39 @@ def run_scaling_cell(params: dict[str, Any]) -> dict:
     }
 
 
+def run_multitenant_cell(params: dict[str, Any]) -> dict:
+    """E14 as a cell: Q overlapping tenant queries, shared plan vs Q engines."""
+    tracer = SpanTracer()
+    comparison = run_multitenant_study(telemetry=tracer, **_take_n(params))
+    return {
+        "measures": {
+            "num_nodes": comparison.num_nodes,
+            "epochs": comparison.epochs,
+            "epsilon": comparison.epsilon,
+            "workload": comparison.workload,
+            "tenants": comparison.tenants,
+            "legs": comparison.legs,
+            "admitted": comparison.admitted,
+            "shared": comparison.shared,
+            "degraded": comparison.degraded,
+            "rejected": comparison.rejected,
+            "shared_bits": comparison.shared_bits,
+            "independent_bits": comparison.independent_bits,
+            "savings_factor": round(comparison.savings_factor, 4),
+            "answers_match": comparison.answers_match,
+            "decomposition_holds": comparison.decomposition_holds,
+        },
+        "phases": phases_payload(tracer),
+    }
+
+
 #: The experiment-kind registry sweep specs select from.
 CELL_RUNNERS: dict[str, Callable[[dict[str, Any]], dict]] = {
     "streaming": run_streaming_cell,
     "fault_tolerance": run_fault_tolerance_cell,
     "root_failover": run_root_failover_cell,
     "scaling": run_scaling_cell,
+    "multitenant": run_multitenant_cell,
 }
 
 

@@ -24,7 +24,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Mapping, Sequence
 
-from repro.exceptions import ConfigurationError
+from repro.exceptions import ConfigurationError, DuplicateAxisValueError
 
 #: Bump to invalidate every cached cell result (e.g. when a cell runner's
 #: output schema changes in a way the parameter hash cannot see).
@@ -183,7 +183,13 @@ class SweepSpec:
                     f"got {values!r}"
                 )
             if len(set(map(repr, values))) != len(values):
-                raise ConfigurationError(f"axis {axis!r} has duplicate values")
+                raise DuplicateAxisValueError(
+                    f"axis {axis!r} has duplicate values {values!r}: each "
+                    "repeated value collapses two cells into one cache key, "
+                    "so the sweep would run fewer independent cells than the "
+                    "spec promises (a repeated seed silently halves the "
+                    "sample count) — make every axis value unique"
+                )
         overlap = set(self.axes) & set(self.base)
         if overlap:
             raise ConfigurationError(

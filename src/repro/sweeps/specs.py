@@ -92,10 +92,39 @@ def e12_fault_tolerance_spec(
     )
 
 
+def e14_multitenant_spec(
+    num_nodes: int | None = None,
+    epochs: int | None = None,
+    tenants: tuple = (8, 16, 32),
+    seeds: tuple = (0, 1),
+) -> SweepSpec:
+    """E14 — multi-tenant dedup, swept over tenant count x seed.
+
+    Each cell serves Q overlapping standing queries through one shared
+    plan and through Q dedicated engines (``run_multitenant_study``); the
+    headline measure is the total-bits savings factor, which grows like
+    Q over the number of distinct plan signatures while every tenant's
+    answers stay number-identical.
+    """
+    return SweepSpec(
+        name="e14_multitenant",
+        experiment="multitenant",
+        axes={"tenants": tuple(tenants), "seed": tuple(seeds)},
+        base={
+            "n": num_nodes or _env_int("REPRO_SWEEP_NODES", 100),
+            "epochs": epochs or _env_int("REPRO_SWEEP_EPOCHS", 12),
+            "epsilon": 0.1,
+            "topology": "grid",
+            "workload": "drift",
+        },
+    )
+
+
 #: Name -> factory for every spec the CLI and docs gate can resolve.
 BUILTIN_SWEEPS = {
     "e10_streaming": e10_streaming_spec,
     "e12_fault_tolerance": e12_fault_tolerance_spec,
+    "e14_multitenant": e14_multitenant_spec,
 }
 
 

@@ -1,0 +1,302 @@
+"""The query planner: many tenant registrations, one shared summary plan.
+
+Production means many tenants posting *overlapping* standing queries —
+regional medians, fleet-wide count-distinct, predicate alarms.  Today each
+:class:`~repro.streaming.ContinuousQueryEngine` pays for its own charged
+convergecast; the planner collapses the overlap instead.  Every registered
+query is reduced to its **plan signature** (:func:`plan_signature`) — the
+parameters that determine what the charged convergecast must carry, and
+*only* those.  Queries with the same signature share one **leg**: a single
+standing query on the underlying engine, one charged convergecast per
+epoch, one suppression decision.  Everything signature-*independent* is
+derived for free at the root: a quantile query's ``fraction`` never appears
+in its signature, so ten tenants asking for ten different percentiles of
+the same digest ride one leg and each read their own rank off the shared
+root summary.
+
+Admission is tiered.  Sharing an existing leg is always free and always
+granted; only a registration that needs a *new* leg spends against the
+planner's optional bits budget (estimated as one full-summary convergecast,
+:func:`estimate_leg_bits`).  When the budget is exhausted the tier decides:
+
+``gold``
+    the leg is created anyway (the decision is flagged ``over_budget`` so
+    the overrun is visible, never silent);
+``standard``
+    the registration is **rejected** — a standard tenant is never silently
+    handed a different approximation than it asked for;
+``best_effort``
+    the registration is **degraded** onto a compatible existing leg when
+    one exists (same aggregate family over the same value universe, any
+    approximation quality — see :func:`degrade_target`), else rejected.
+
+Every outcome is returned — and retained — as an :class:`AdmissionDecision`,
+so the per-tenant ledger split (:mod:`repro.tenancy.ledger`) can bill leg
+creation to the tenant that caused it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exceptions import ConfigurationError
+from repro.streaming.queries import StandingQuery
+
+#: Admission tiers, strongest first (see the module docstring).
+TIERS = ("gold", "standard", "best_effort")
+
+#: Possible :attr:`AdmissionDecision.status` values.
+ADMISSION_STATUSES = ("admitted", "shared", "degraded", "rejected")
+
+#: Items every cost probe summarises: a fixed tiny multiset that is valid
+#: for every query family (0 lies in every value universe).
+_PROBE_ITEMS = (0, 0, 0)
+
+
+def plan_signature(query: StandingQuery) -> tuple:
+    """The parameters that determine a query's charged convergecast.
+
+    Two queries with equal signatures maintain byte-identical subtree
+    summaries under identical inputs, so they can share one leg.  Answer
+    parameters that act only at the root are deliberately excluded:
+
+    * ``COUNT`` — no parameters at all;
+    * ``COUNTP`` — the predicate's announced description *is* its identity
+      (the paper requires the predicate to be broadcast at registration, so
+      equal descriptions mean equal wire encodings);
+    * ``QUANTILE`` / ``MEDIAN`` — the q-digest universe and compression;
+      the queried ``fraction`` is root-side derivation, not plan;
+    * ``DISTINCT`` — the LogLog geometry (registers, salt, clamp).
+    """
+    kind = getattr(query, "kind", None)
+    if kind == "COUNT":
+        return ("COUNT",)
+    if kind == "COUNTP":
+        return ("COUNTP", query.description)
+    if kind in ("QUANTILE", "MEDIAN"):
+        return ("QDIGEST", query.universe_size, query.compression)
+    if kind == "DISTINCT":
+        return (
+            "DISTINCT",
+            query.num_registers,
+            query.salt,
+            query.max_expected_count,
+        )
+    raise ConfigurationError(
+        f"cannot plan a {type(query).__name__} (kind={kind!r}); the planner "
+        "knows COUNT, COUNTP, QUANTILE/MEDIAN and DISTINCT standing queries"
+    )
+
+
+def estimate_leg_bits(query: StandingQuery, num_nodes: int) -> int:
+    """Deterministic admission-time cost estimate for one new leg.
+
+    One epoch of a brand-new leg ships every node's full summary, so the
+    estimate is ``num_nodes`` times the serialized size of a small probe
+    summary.  It is a planning number — the ledger split always bills the
+    *actual* charged bits — but it is deterministic, so admission decisions
+    are reproducible across runs and machines.
+    """
+    probe = query.local_summary(list(_PROBE_ITEMS))
+    return int(probe.serialized_bits()) * max(1, int(num_nodes))
+
+
+def degrade_target(signature: tuple, legs: "dict[str, SharedLeg]") -> str | None:
+    """The leg a best-effort registration may be degraded onto, if any.
+
+    Degradation must keep the *question* intact and give up only
+    approximation quality: a q-digest leg over the same value universe
+    (different compression) still answers the same rank query; any LogLog
+    leg still estimates the same distinct count.  ``COUNT`` has no
+    parameters (an exact signature match always shares first) and a
+    ``COUNTP`` with a different predicate is a different question, so
+    neither family ever degrades.
+    """
+    family = signature[0]
+    if family == "QDIGEST":
+        universe = signature[1]
+        for name, leg in legs.items():
+            if leg.signature[0] == "QDIGEST" and leg.signature[1] == universe:
+                return name
+    elif family == "DISTINCT":
+        for name, leg in legs.items():
+            if leg.signature[0] == "DISTINCT":
+                return name
+    return None
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """The planner's verdict on one tenant registration."""
+
+    tenant: str
+    query_name: str
+    tier: str
+    #: One of :data:`ADMISSION_STATUSES`.
+    status: str
+    #: The leg serving this query (``None`` when rejected).
+    leg: str | None
+    signature: tuple
+    #: The new-leg cost estimate that was weighed against the budget
+    #: (zero for exact shares — sharing is free by construction).
+    estimated_bits: int
+    #: A gold registration forced past an exhausted budget.
+    over_budget: bool = False
+
+    @property
+    def admitted(self) -> bool:
+        """Whether the query is being answered (any status but rejected)."""
+        return self.status != "rejected"
+
+
+@dataclass
+class SharedLeg:
+    """One charged convergecast serving every subscriber of a signature."""
+
+    name: str
+    signature: tuple
+    #: The representative query registered on the engine (the first
+    #: admitted registrant's — any subscriber's would maintain the same
+    #: summaries, that is what sharing a signature means).
+    query: StandingQuery
+    #: The tenant whose admission created the leg; it is billed the leg's
+    #: one-time registration broadcast.
+    owner: str
+    estimated_bits: int
+    #: Billing units in registration order: one ``(tenant, query_name)``
+    #: per served registration, exact shares included.
+    subscriptions: list[tuple[str, str]] = field(default_factory=list)
+
+
+class QueryPlanner:
+    """Deduplicate tenant standing queries into a shared summary plan."""
+
+    def __init__(self, num_nodes: int, bits_budget: int | None = None) -> None:
+        if num_nodes <= 0:
+            raise ConfigurationError(
+                f"num_nodes must be positive, got {num_nodes}"
+            )
+        if bits_budget is not None and bits_budget < 0:
+            raise ConfigurationError(
+                f"bits_budget must be non-negative, got {bits_budget}"
+            )
+        self.num_nodes = num_nodes
+        self.bits_budget = bits_budget
+        #: Estimated spend of every leg created so far (admission currency;
+        #: the ledger split bills actual bits).
+        self.estimated_spend = 0
+        self._legs: dict[str, SharedLeg] = {}
+        self._by_signature: dict[tuple, str] = {}
+        self.decisions: list[AdmissionDecision] = []
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def legs(self) -> dict[str, SharedLeg]:
+        """The shared legs by name, in creation order."""
+        return dict(self._legs)
+
+    def leg(self, name: str) -> SharedLeg:
+        try:
+            return self._legs[name]
+        except KeyError:
+            raise ConfigurationError(f"unknown leg {name!r}") from None
+
+    def subscriptions(self) -> dict[str, list[tuple[str, str]]]:
+        """Leg name -> billing units, the shape the ledger split consumes."""
+        return {name: list(leg.subscriptions) for name, leg in self._legs.items()}
+
+    # ------------------------------------------------------------------ #
+    # Admission
+    # ------------------------------------------------------------------ #
+    def admit(
+        self,
+        tenant: str,
+        query_name: str,
+        query: StandingQuery,
+        tier: str = "standard",
+    ) -> AdmissionDecision:
+        """Plan one tenant registration; returns the recorded decision.
+
+        The caller (:class:`~repro.tenancy.MultiTenantEngine`) is
+        responsible for registering newly *admitted* legs on the underlying
+        engine; shared and degraded registrations change no engine state at
+        all — that is the entire point.
+        """
+        if tier not in TIERS:
+            raise ConfigurationError(
+                f"unknown tier {tier!r}; expected one of {TIERS}"
+            )
+        signature = plan_signature(query)
+
+        existing = self._by_signature.get(signature)
+        if existing is not None:
+            decision = self._decide(
+                tenant, query_name, tier, "shared", existing, signature, 0
+            )
+            self._legs[existing].subscriptions.append((tenant, query_name))
+            return decision
+
+        cost = estimate_leg_bits(query, self.num_nodes)
+        within_budget = (
+            self.bits_budget is None
+            or self.estimated_spend + cost <= self.bits_budget
+        )
+        if within_budget or tier == "gold":
+            leg_name = f"leg{len(self._legs):02d}_{signature[0].lower()}"
+            self._legs[leg_name] = SharedLeg(
+                name=leg_name,
+                signature=signature,
+                query=query,
+                owner=tenant,
+                estimated_bits=cost,
+                subscriptions=[(tenant, query_name)],
+            )
+            self._by_signature[signature] = leg_name
+            self.estimated_spend += cost
+            return self._decide(
+                tenant,
+                query_name,
+                tier,
+                "admitted",
+                leg_name,
+                signature,
+                cost,
+                over_budget=not within_budget,
+            )
+
+        if tier == "best_effort":
+            target = degrade_target(signature, self._legs)
+            if target is not None:
+                decision = self._decide(
+                    tenant, query_name, tier, "degraded", target, signature, 0
+                )
+                self._legs[target].subscriptions.append((tenant, query_name))
+                return decision
+        return self._decide(
+            tenant, query_name, tier, "rejected", None, signature, cost
+        )
+
+    def _decide(
+        self,
+        tenant: str,
+        query_name: str,
+        tier: str,
+        status: str,
+        leg: str | None,
+        signature: tuple,
+        estimated_bits: int,
+        over_budget: bool = False,
+    ) -> AdmissionDecision:
+        decision = AdmissionDecision(
+            tenant=tenant,
+            query_name=query_name,
+            tier=tier,
+            status=status,
+            leg=leg,
+            signature=signature,
+            estimated_bits=estimated_bits,
+            over_budget=over_budget,
+        )
+        self.decisions.append(decision)
+        return decision

@@ -495,3 +495,67 @@ def test_faulted_streaming_engines_are_ledger_identical(seed):
     ]
     assert_ledgers_identical(*nets)
     assert nets[0].radio._rng.getstate() == nets[1].radio._rng.getstate()
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+@pytest.mark.parametrize("radio_name", ["reliable", "lossy"])
+def test_multitenant_plan_and_split_identical_across_vectorized(radio_name, seed):
+    """The tenancy layer is execution-blind: batched vs vectorized twins.
+
+    For count-valued tenant mixes (all a vectorized network serves) the
+    planner's admission decisions, the per-leg ledger keys, the per-tenant
+    ledger columns and every tenant's per-epoch answers must be identical
+    whether the shared plan runs on the batched reference engine or the
+    numpy fused-sweep engine.
+    """
+    from repro._util.fastpath import HAVE_NUMPY
+
+    if not HAVE_NUMPY:
+        pytest.skip("vectorized path requires the 'fast' extra (numpy)")
+
+    from repro.streaming.queries import CountQuery, PredicateCountQuery
+    from repro.tenancy import MultiTenantEngine
+    from repro.workloads.streams import make_stream
+
+    mix = [
+        ("acme", "total", CountQuery()),
+        ("globex", "fleet", CountQuery()),
+        ("initech", "low", PredicateCountQuery(lambda v: v < 200, "below_200")),
+        ("acme", "low", PredicateCountQuery(lambda v: v <= 199, "below_200")),
+        ("hooli", "high", PredicateCountQuery(lambda v: v >= 200, "at_least_200")),
+    ]
+    services = []
+    networks = []
+    for mode in ("batched", "vectorized"):
+        network = SensorNetwork.from_items(
+            [0] * 36,
+            topology="grid",
+            seed=seed,
+            radio=RADIOS[radio_name](seed),
+            execution=mode,
+        )
+        network.clear_items()
+        service = MultiTenantEngine(network, epsilon=0.1)
+        decisions = [
+            service.register(tenant, name, query) for tenant, name, query in mix
+        ]
+        stream = make_stream("drift", 36, max_value=400, seed=seed)
+        for epoch in range(5):
+            updates = stream.initial() if epoch == 0 else stream.step(epoch)
+            service.advance_epoch(updates)
+            assert service.decomposition_holds()
+        services.append((service, decisions))
+        networks.append(network)
+
+    (batched, batched_decisions), (vectorized, vectorized_decisions) = services
+    assert [(d.status, d.leg, d.signature) for d in batched_decisions] == [
+        (d.status, d.leg, d.signature) for d in vectorized_decisions
+    ]
+    assert batched.answers() == vectorized.answers()
+    assert batched.split.columns() == vectorized.split.columns()
+    for tenant, name, _query in mix:
+        assert batched.split.leg_breakdown(tenant) == vectorized.split.leg_breakdown(
+            tenant
+        )
+    assert batched.plan_bits() == vectorized.plan_bits()
+    assert_ledgers_identical(*networks)

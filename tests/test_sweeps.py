@@ -21,9 +21,10 @@ import pytest
 
 from repro.analysis.experiments import (
     run_fault_tolerance_study,
+    run_multitenant_study,
     run_streaming_comparison,
 )
-from repro.exceptions import ConfigurationError
+from repro.exceptions import ConfigurationError, DuplicateAxisValueError
 from repro.sweeps import (
     Constraint,
     SweepRunner,
@@ -340,3 +341,64 @@ class TestBuiltinEquivalence:
         }
         assert ("link_storm", None) in combos
         assert ("link_storm", 4) not in combos
+
+
+# --------------------------------------------------------------------- #
+# Duplicate axis values: the seed-reuse footgun
+# --------------------------------------------------------------------- #
+class TestDuplicateAxisValues:
+    def test_repeated_seed_raises_a_value_error(self):
+        """seeds=(0, 1, 1) must fail loudly, not quietly run two cells.
+
+        The error is a ValueError (generic argument-validation callers)
+        *and* a ConfigurationError (the library's own hierarchy), and the
+        message explains the footgun instead of just naming the axis.
+        """
+        with pytest.raises(ValueError, match="duplicate"):
+            tiny_streaming_spec(seeds=(0, 1, 1))
+        with pytest.raises(DuplicateAxisValueError) as excinfo:
+            tiny_streaming_spec(seeds=(0, 1, 1))
+        assert isinstance(excinfo.value, ConfigurationError)
+        assert "seed" in str(excinfo.value)
+        assert "cache key" in str(excinfo.value)
+
+    def test_repeated_non_seed_axis_also_raises(self):
+        with pytest.raises(DuplicateAxisValueError, match="workload"):
+            tiny_streaming_spec(workloads=("drift", "burst", "drift"))
+
+    def test_spec_from_dict_rejects_duplicates_too(self):
+        payload = {
+            "name": "dup",
+            "experiment": "streaming",
+            "axes": {"seed": [3, 3]},
+            "base": dict(TINY_STREAM),
+        }
+        with pytest.raises(DuplicateAxisValueError):
+            spec_from_dict(payload)
+
+    def test_distinct_values_of_equal_repr_across_types_still_pass(self):
+        # 1 and 1.0 repr differently; True vs 1 repr differently too — the
+        # guard must compare by repr, not by hash-equality, so an int/float
+        # axis mixing equal-valued distinct literals stays expressible.
+        spec = tiny_streaming_spec(seeds=(1, 1.0))
+        assert spec.axes["seed"] == (1, 1.0)
+
+
+class TestE14Builtin:
+    def test_e14_cell_matches_hand_written_runner(self, tmp_path):
+        spec = get_sweep(
+            "e14_multitenant", num_nodes=36, epochs=4, tenants=(6,), seeds=(0,)
+        )
+        result = SweepRunner(spec, cache_dir=tmp_path, processes=0).run()
+        (outcome,) = result.outcomes
+        direct = run_multitenant_study(
+            num_nodes=36, epochs=4, tenants=6, workload="drift", epsilon=0.1,
+            topology="grid", seed=0,
+        )
+        measures = outcome.result["measures"]
+        assert measures["legs"] == direct.legs
+        assert measures["shared_bits"] == direct.shared_bits
+        assert measures["independent_bits"] == direct.independent_bits
+        assert measures["savings_factor"] == round(direct.savings_factor, 4)
+        assert measures["answers_match"] and direct.answers_match
+        assert measures["decomposition_holds"] and direct.decomposition_holds
